@@ -1,0 +1,50 @@
+"""Shared context for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper at full
+workload scale, prints the rendered rows/series, and saves them under
+``benchmarks/output/``. Simulation results are cached in a session-scoped
+:class:`~repro.analysis.experiments.ExperimentContext`, so composite
+figures (9, 10, 11, summary) share runs instead of repeating them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import ExperimentContext
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """Full-scale experiment context shared by all benchmarks."""
+    return ExperimentContext(scale=1.0, seed=0)
+
+
+@pytest.fixture(scope="session")
+def save_output():
+    """Persist a rendered table/figure and echo it to stdout."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_svg_figure():
+    """Render a SchemeBarsResult to an SVG artifact in the output dir."""
+    from repro.analysis.svgplot import save_svg, scheme_bars_to_svg
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, bars_result) -> None:
+        save_svg(scheme_bars_to_svg(bars_result),
+                 str(OUTPUT_DIR / f"{name}.svg"))
+
+    return _save

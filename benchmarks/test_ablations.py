@@ -1,0 +1,147 @@
+"""Ablation benchmarks on the design choices DESIGN.md calls out.
+
+These go beyond the paper's figures: each sweep isolates one cost/geometry
+knob and confirms the mechanism behind a Section 5 conclusion.
+
+* **Squash-rate sweep** — Lazy AMM vs FMM as dependence violations grow:
+  the FMM recovery penalty scales with squash frequency (the Euler effect,
+  generalized to a crossover curve).
+* **L2 associativity sweep** — P3m under Lazy AMM as ways grow: version
+  pile-up pressure falls, generalizing the Lazy.L2 bar.
+* **Commit-cost sweep** — eager commit write-back cost vs the Eager/Lazy
+  gap: the gap is proportional to the commit wavefront's weight.
+* **Recovery-cost sweep** — FMM software-handler cost vs Euler runtime.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.config import CacheGeometry, NUMA_16
+from repro.core.engine import simulate
+from repro.core.taxonomy import (
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_FMM,
+    MULTI_T_MV_LAZY,
+    SINGLE_T_EAGER,
+    SINGLE_T_LAZY,
+)
+from repro.workloads.apps import APPLICATIONS
+
+SCALE = 0.5
+
+
+def test_squash_rate_sweep(benchmark, save_output):
+    """FMM's disadvantage vs Lazy AMM grows with the violation rate."""
+    base = APPLICATIONS["Euler"]
+    rates = (0.0, 0.01, 0.03, 0.06)
+
+    def sweep():
+        rows = []
+        for rate in rates:
+            profile = replace(base, name=f"Euler@{rate}",
+                              dep_victim_rate=rate)
+            workload = profile.generate(scale=SCALE)
+            lazy = simulate(NUMA_16, MULTI_T_MV_LAZY, workload)
+            fmm = simulate(NUMA_16, MULTI_T_MV_FMM, workload)
+            rows.append((rate, lazy.total_cycles, fmm.total_cycles,
+                         fmm.total_cycles / lazy.total_cycles,
+                         fmm.violation_events))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_output("ablation_squash_rate", render_table(
+        ["dep rate", "Lazy AMM (cyc)", "FMM (cyc)", "FMM/Lazy",
+         "violations"],
+        rows,
+        title="Ablation: Lazy AMM vs FMM as squash frequency grows",
+    ))
+    penalties = [row[3] for row in rows]
+    # Without squashes FMM is at least as good; with frequent squashes the
+    # log-replay recovery makes it clearly worse.
+    assert penalties[0] <= 1.05
+    assert penalties[-1] > penalties[0]
+    assert penalties[-1] > 1.05
+
+
+def test_l2_associativity_sweep(benchmark, save_output):
+    """More ways absorb P3m's same-set version pile-up under Lazy AMM."""
+    ways_list = (4, 8, 16)
+
+    def sweep():
+        workload = APPLICATIONS["P3m"].generate(scale=SCALE)
+        fmm = simulate(NUMA_16, MULTI_T_MV_FMM, workload)
+        rows = []
+        for ways in ways_list:
+            machine = NUMA_16.with_l2(
+                CacheGeometry(size_bytes=ways * 2048 * 64, assoc=ways))
+            lazy = simulate(machine, MULTI_T_MV_LAZY, workload)
+            rows.append((ways, lazy.total_cycles,
+                         lazy.total_cycles / fmm.total_cycles,
+                         lazy.peak_overflow_lines))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_output("ablation_l2_ways", render_table(
+        ["L2 ways", "Lazy AMM (cyc)", "vs FMM", "peak overflow lines"],
+        rows,
+        title="Ablation: P3m buffer pressure vs L2 associativity",
+    ))
+    times = [row[1] for row in rows]
+    overflow = [row[3] for row in rows]
+    assert times[-1] <= times[0]
+    assert overflow[-1] < overflow[0]
+    # With 16 ways, Lazy AMM lands within 10% of FMM (the Lazy.L2 result).
+    assert rows[-1][2] < 1.10
+
+
+def test_commit_cost_sweep(benchmark, save_output):
+    """The Eager/Lazy gap tracks the per-line commit write-back cost."""
+    costs_list = (15, 60, 120)
+
+    def sweep():
+        workload = APPLICATIONS["Apsi"].generate(scale=SCALE)
+        rows = []
+        for per_line in costs_list:
+            machine = NUMA_16.with_costs(
+                replace(NUMA_16.costs, commit_writeback_per_line=per_line))
+            eager = simulate(machine, SINGLE_T_EAGER, workload)
+            lazy = simulate(machine, SINGLE_T_LAZY, workload)
+            rows.append((per_line, eager.total_cycles, lazy.total_cycles,
+                         1 - lazy.total_cycles / eager.total_cycles))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_output("ablation_commit_cost", render_table(
+        ["wb/line (cyc)", "SingleT Eager", "SingleT Lazy", "lazy gain"],
+        rows,
+        title="Ablation: laziness gain vs eager commit cost (Apsi)",
+    ))
+    gains = [row[3] for row in rows]
+    assert gains == sorted(gains)
+    assert gains[-1] > gains[0] + 0.1
+
+
+def test_recovery_cost_sweep(benchmark, save_output):
+    """FMM runtime under squashes scales with the recovery handler cost."""
+    handler_instrs = (10, 60, 240)
+
+    def sweep():
+        workload = APPLICATIONS["Euler"].generate(scale=SCALE)
+        rows = []
+        for instr in handler_instrs:
+            machine = NUMA_16.with_costs(replace(
+                NUMA_16.costs, fmm_recovery_instructions_per_entry=instr))
+            fmm = simulate(machine, MULTI_T_MV_FMM, workload)
+            rows.append((instr, fmm.total_cycles, fmm.violation_events))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_output("ablation_recovery_cost", render_table(
+        ["handler instr/entry", "FMM total (cyc)", "violations"],
+        rows,
+        title="Ablation: Euler under FMM vs recovery handler cost",
+    ))
+    times = [row[1] for row in rows]
+    assert times[0] < times[-1]

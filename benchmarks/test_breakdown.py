@@ -1,0 +1,32 @@
+"""Benchmark: disaggregated cycle breakdown (Figure 9's bar anatomy).
+
+The paper folds everything but Busy into one Stall segment; this table
+separates memory stalls, task/version-support stalls (the SingleT commit
+wait and the MultiT&SV version conflict), recovery, and end-of-loop idle —
+and asserts that each category appears exactly under the schemes whose
+mechanism produces it.
+"""
+
+from repro.analysis.experiments import run_breakdown
+
+
+def test_breakdown(benchmark, ctx, save_output):
+    result = benchmark.pedantic(run_breakdown, args=(ctx,),
+                                rounds=1, iterations=1)
+    save_output("breakdown", result.render())
+
+    def frac(app, scheme, category):
+        return result.cells[app][scheme][category]
+
+    # SingleT's signature stall: waiting for the commit token.
+    assert frac("P3m", "SingleT Eager AMM", "commit-stall") > 0.10
+    # MultiT&MV never waits on task/version support.
+    for app in result.cells:
+        assert frac(app, "MultiT&MV Eager AMM", "sv-stall") == 0
+        assert frac(app, "MultiT&MV Eager AMM", "commit-stall") == 0
+    # MultiT&SV's signature stall appears exactly on privatization apps.
+    assert frac("Bdna", "MultiT&SV Eager AMM", "sv-stall") > 0.10
+    assert frac("Euler", "MultiT&SV Eager AMM", "sv-stall") == 0
+    # Recovery time appears only where squashes happen.
+    assert frac("Euler", "MultiT&MV Eager AMM", "recovery") > 0
+    assert frac("Tree", "MultiT&MV Eager AMM", "recovery") == 0

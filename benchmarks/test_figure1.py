@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 1-(a) — application buffering behaviour."""
+
+from repro.analysis.experiments import run_figure1
+
+
+def test_figure1(benchmark, ctx, save_output):
+    result = benchmark.pedantic(run_figure1, args=(ctx,),
+                                rounds=1, iterations=1)
+    save_output("figure1", result.render())
+    by_app = {row[0]: row for row in result.rows}
+    # P3m buffers by far the most speculative tasks (paper: 800 vs 17-29).
+    others = [row[1] for app, row in by_app.items() if app != "P3m"]
+    assert by_app["P3m"][1] > 2 * max(others)
+    # Privatization dominates Tree/Bdna footprints, is absent in Track.
+    assert by_app["Tree"][4] > 0.95 and by_app["Bdna"][4] > 0.95
+    assert by_app["Track"][4] < 0.05

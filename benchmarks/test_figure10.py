@@ -1,0 +1,50 @@
+"""Benchmark: regenerate Figure 10 — AMM vs FMM under MultiT&MV.
+
+Shape assertions follow Section 5.2: Lazy AMM and FMM perform similarly
+overall; FMM wins under buffer pressure (P3m) while Lazy AMM wins under
+frequent squashes (Euler); Lazy.L2 closes the P3m gap; FMM.Sw costs a few
+percent over hardware-logged FMM.
+"""
+
+from repro.analysis.experiments import run_figure10
+from repro.core.taxonomy import (
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_FMM,
+    MULTI_T_MV_FMM_SW,
+    MULTI_T_MV_LAZY,
+)
+from repro.workloads.apps import APPLICATION_ORDER
+
+
+def test_figure10(benchmark, ctx, save_output, save_svg_figure):
+    result = benchmark.pedantic(run_figure10, args=(ctx,),
+                                rounds=1, iterations=1)
+    save_output("figure10", result.render())
+    save_svg_figure("figure10", result.bars)
+
+    def norm(app, scheme):
+        return result.bars.cells[app][scheme.name][0]
+
+    # Lazy AMM ~= FMM in general (within 10% for most applications).
+    close = sum(
+        abs(norm(app, MULTI_T_MV_LAZY) - norm(app, MULTI_T_MV_FMM)) < 0.10
+        for app in APPLICATION_ORDER
+    )
+    assert close >= 5
+
+    # FMM tolerates P3m's buffer pressure better than Lazy AMM.
+    assert norm("P3m", MULTI_T_MV_FMM) <= norm("P3m", MULTI_T_MV_LAZY)
+
+    # Lazy AMM recovers faster: Euler (frequent squashes) favours it.
+    assert norm("Euler", MULTI_T_MV_LAZY) < norm("Euler", MULTI_T_MV_FMM)
+
+    # Lazy.L2 brings AMM to within ~10% of FMM on P3m.
+    lazy_l2 = result.lazy_l2["P3m"][0]
+    assert lazy_l2 <= norm("P3m", MULTI_T_MV_LAZY)
+    assert abs(lazy_l2 - norm("P3m", MULTI_T_MV_FMM)) < 0.10
+
+    # FMM.Sw averages a few percent over FMM (paper: 6%).
+    overheads = [norm(app, MULTI_T_MV_FMM_SW) / norm(app, MULTI_T_MV_FMM)
+                 for app in APPLICATION_ORDER]
+    average = sum(overheads) / len(overheads)
+    assert 1.02 < average < 1.12

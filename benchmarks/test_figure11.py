@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Figure 11 — the AMM schemes on the CMP.
+
+Shape assertions follow Section 5.3: trends match the NUMA machine but the
+relative differences shrink, because the CMP's lower memory latencies leave
+less memory stall time for buffering to influence.
+"""
+
+from repro.analysis.experiments import run_figure9, run_figure11
+from repro.core.taxonomy import (
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_LAZY,
+    MULTI_T_SV_EAGER,
+    MULTI_T_SV_LAZY,
+    SINGLE_T_EAGER,
+    SINGLE_T_LAZY,
+)
+
+
+def test_figure11(benchmark, ctx, save_output, save_svg_figure):
+    result = benchmark.pedantic(run_figure11, args=(ctx,),
+                                rounds=1, iterations=1)
+    save_output("figure11", result.render())
+    save_svg_figure("figure11", result)
+    numa = run_figure9(ctx)
+
+    # Multiple tasks&versions still pays on the CMP (paper: 23% vs 32%).
+    cmp_gain = result.average_reduction(MULTI_T_MV_EAGER, SINGLE_T_EAGER)
+    assert 0.15 < cmp_gain < 0.45
+
+    # Laziness gains shrink on the CMP (paper: 9% and 3% vs 30% and 24%).
+    def simple_lazy(fig):
+        return (fig.average_reduction(SINGLE_T_LAZY, SINGLE_T_EAGER)
+                + fig.average_reduction(MULTI_T_SV_LAZY,
+                                        MULTI_T_SV_EAGER)) / 2
+
+    assert simple_lazy(result) < simple_lazy(numa) / 2
+    cmp_mv_lazy = result.average_reduction(MULTI_T_MV_LAZY, MULTI_T_MV_EAGER)
+    numa_mv_lazy = numa.average_reduction(MULTI_T_MV_LAZY, MULTI_T_MV_EAGER)
+    assert cmp_mv_lazy < numa_mv_lazy / 2
+
+    # Busy fractions are higher on the CMP (less memory stall).
+    higher = 0
+    for app, per_scheme in result.cells.items():
+        cmp_busy = per_scheme[MULTI_T_MV_EAGER.name][1]
+        numa_busy = numa.cells[app][MULTI_T_MV_EAGER.name][1]
+        higher += cmp_busy > numa_busy
+    assert higher >= 5

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 4 — prior schemes mapped to the taxonomy."""
+
+from repro.analysis.experiments import run_figure4
+from repro.core.taxonomy import PRIOR_SCHEMES
+
+
+def test_figure4(benchmark, save_output):
+    result = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    save_output("figure4", result.render())
+    assert len(PRIOR_SCHEMES) >= 14

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 5 — SingleT vs MultiT&SV vs MultiT&MV."""
+
+from repro.analysis.experiments import run_figure5
+
+
+def test_figure5(benchmark, save_output):
+    result = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    save_output("figure5", result.render())
+    totals = result.total_cycles
+    # The paper's ordering: MV finishes first, SingleT last or tied with SV.
+    assert totals["MultiT&MV Eager AMM"] < totals["MultiT&SV Eager AMM"]
+    assert totals["MultiT&MV Eager AMM"] < totals["SingleT Eager AMM"]

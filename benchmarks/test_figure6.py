@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 6 — execution vs commit wavefronts."""
+
+from repro.analysis.experiments import run_figure6
+
+
+def test_figure6(benchmark, save_output):
+    result = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    save_output("figure6", result.render())
+
+    def total(name):
+        _i, t, _n = result.timelines[name]
+        return t
+
+    # Laziness removes the commit wavefront from the critical path.
+    assert total("MultiT&MV Lazy AMM") < total("MultiT&MV Eager AMM")
+    assert total("SingleT Lazy AMM") < total("SingleT Eager AMM")

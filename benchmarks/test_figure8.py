@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 8 — limiting application characteristics."""
+
+from repro.analysis.experiments import run_figure8
+from repro.core.taxonomy import (
+    EVALUATED_SCHEMES,
+    MULTI_T_MV_FMM,
+    limiting_characteristics,
+)
+
+
+def test_figure8(benchmark, save_output):
+    result = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    save_output("figure8", result.render())
+    assert all(limiting_characteristics(s) for s in EVALUATED_SCHEMES
+               if s is not None)
+    assert len(limiting_characteristics(MULTI_T_MV_FMM)) == 1

@@ -1,0 +1,61 @@
+"""Benchmark: regenerate Figure 9 — the six AMM schemes on the CC-NUMA.
+
+Shape assertions follow Section 5.1/5.2: MultiT&MV beats SingleT (most for
+the imbalanced P3m), MultiT&SV forfeits the gain on privatization-heavy
+applications, and laziness helps exactly where the commit wavefront sits in
+the critical path.
+"""
+
+from repro.analysis.experiments import run_figure9
+from repro.core.taxonomy import (
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_LAZY,
+    MULTI_T_SV_EAGER,
+    MULTI_T_SV_LAZY,
+    SINGLE_T_EAGER,
+    SINGLE_T_LAZY,
+)
+
+
+def test_figure9(benchmark, ctx, save_output, save_svg_figure):
+    result = benchmark.pedantic(run_figure9, args=(ctx,),
+                                rounds=1, iterations=1)
+    save_output("figure9", result.render())
+    save_svg_figure("figure9", result)
+
+    def norm(app, scheme):
+        return result.cells[app][scheme.name][0]
+
+    # MultiT&MV's biggest win is the load-imbalanced P3m (paper: 1.6->3.4).
+    assert norm("P3m", MULTI_T_MV_EAGER) < 0.7
+
+    # MultiT&SV ~= MultiT&MV without privatization patterns.
+    for app in ("Track", "Dsmc3d", "Euler"):
+        ratio = norm(app, MULTI_T_SV_EAGER) / norm(app, MULTI_T_MV_EAGER)
+        assert 0.9 < ratio < 1.1
+
+    # MultiT&SV is no better than SingleT when privatization dominates
+    # (the paper even measures it slower for Tree, Bdna, Apsi).
+    for app in ("Tree", "Bdna", "Apsi"):
+        assert norm(app, MULTI_T_SV_EAGER) > 1.2 * norm(app, MULTI_T_MV_EAGER)
+
+    # Laziness speeds up SingleT for the significant-C/E applications...
+    for app in ("Bdna", "Apsi", "Track", "Euler"):
+        assert norm(app, SINGLE_T_LAZY) < norm(app, SINGLE_T_EAGER)
+    # ...and MultiT&MV for the high-C/E ones (Apsi, Track, Euler).
+    for app in ("Apsi", "Track", "Euler"):
+        assert norm(app, MULTI_T_MV_LAZY) < 0.92 * norm(app, MULTI_T_MV_EAGER)
+
+    # Paper headline: MultiT&MV cuts average time ~32% vs SingleT Eager.
+    mv_gain = result.average_reduction(MULTI_T_MV_EAGER, SINGLE_T_EAGER)
+    assert 0.25 < mv_gain < 0.50
+
+    # Laziness for the simpler schemes averages ~30%.
+    simple_gain = (result.average_reduction(SINGLE_T_LAZY, SINGLE_T_EAGER)
+                   + result.average_reduction(MULTI_T_SV_LAZY,
+                                              MULTI_T_SV_EAGER)) / 2
+    assert 0.20 < simple_gain < 0.42
+
+    # Laziness on top of MultiT&MV averages ~24% (nearly additive).
+    lazy_gain = result.average_reduction(MULTI_T_MV_LAZY, MULTI_T_MV_EAGER)
+    assert 0.12 < lazy_gain < 0.35

@@ -1,0 +1,35 @@
+"""Benchmark: scheme scalability with processor count.
+
+Extends the paper's two machine sizes to a sweep: the value of the
+taxonomy's upgrades grows with the machine, because the serialized commit
+wavefront and the SingleT token wait both scale with the processor count
+while Lazy MultiT&MV removes them from the critical path.
+"""
+
+from repro.analysis.experiments import run_scalability
+from repro.core.taxonomy import (
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_LAZY,
+    SINGLE_T_EAGER,
+)
+
+
+def test_scalability(benchmark, ctx, save_output):
+    result = benchmark.pedantic(run_scalability, args=(ctx,),
+                                rounds=1, iterations=1)
+    save_output("scalability", result.render())
+    singlet = result.curves[SINGLE_T_EAGER.name]
+    mv_eager = result.curves[MULTI_T_MV_EAGER.name]
+    mv_lazy = result.curves[MULTI_T_MV_LAZY.name]
+
+    # At every size, the upgrade path is ordered.
+    for s, e, l in zip(singlet, mv_eager, mv_lazy):
+        assert s <= e * 1.05
+        assert e <= l * 1.05
+
+    # Lazy MultiT&MV keeps gaining from 8 to 32 processors...
+    assert mv_lazy[-1] > 1.3 * mv_lazy[1]
+    # ...while SingleT has saturated (commit token serialization).
+    assert singlet[-1] < 1.3 * singlet[1]
+    # The gap widens with machine size (the paper's NUMA>CMP observation).
+    assert (mv_lazy[-1] / singlet[-1]) > (mv_lazy[0] / singlet[0])

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the Section 5.4 headline averages."""
+
+from repro.analysis.experiments import run_summary
+
+
+def test_summary(benchmark, ctx, save_output):
+    result = benchmark.pedantic(run_summary, args=(ctx,),
+                                rounds=1, iterations=1)
+    save_output("summary", result.render())
+    measured = {claim: value for claim, _paper, value in result.rows}
+    # Upgrade-path headline: multiple tasks&versions is the biggest single
+    # win on both machines.
+    assert measured["NUMA: MultiT&MV vs SingleT (Eager)"] > 0.25
+    assert measured["CMP: MultiT&MV vs SingleT (Eager)"] > 0.15
+    # Laziness matters on the NUMA machine, much less on the CMP.
+    assert measured["NUMA: laziness for MultiT&MV"] > 0.12
+    assert (measured["CMP: laziness for MultiT&MV"]
+            < measured["NUMA: laziness for MultiT&MV"] / 2)
+    # Software logging costs a few percent (paper: 6%).
+    assert 0.02 < measured["NUMA: FMM.Sw overhead over FMM"] < 0.12

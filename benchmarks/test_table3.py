@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 3 — application characteristics."""
+
+from repro.analysis.experiments import run_table3
+
+
+def test_table3(benchmark, ctx, save_output):
+    result = benchmark.pedantic(run_table3, args=(ctx,),
+                                rounds=1, iterations=1)
+    save_output("table3", result.render())
+    ce_numa = {row[0]: row[2] for row in result.rows}
+    ce_cmp = {row[0]: row[3] for row in result.rows}
+    # Ranking of commit/execution ratios matches the paper's classes:
+    # P3m and Tree low; Apsi/Track/Euler high.
+    for low in ("P3m", "Tree"):
+        for high in ("Apsi", "Track", "Euler"):
+            assert ce_numa[low] < ce_numa[high]
+    # CMP ratios are consistently below NUMA ratios (Table 3 columns).
+    for app in ce_numa:
+        assert ce_cmp[app] < ce_numa[app]
+    # Euler is the only frequently-squashing application.
+    squash = {row[0]: row[6] for row in result.rows}
+    assert squash["Euler"] == max(squash.values())
+    for app in ("P3m", "Tree", "Bdna", "Apsi"):
+        assert squash[app] == 0

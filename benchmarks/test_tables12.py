@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Tables 1 and 2 — supports and upgrade path."""
+
+from repro.analysis.experiments import run_tables12
+from repro.core.supports import complexity_score
+from repro.core.taxonomy import (
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_FMM,
+    MULTI_T_MV_LAZY,
+    SINGLE_T_EAGER,
+    SINGLE_T_LAZY,
+)
+
+
+def test_tables12(benchmark, save_output):
+    result = benchmark.pedantic(run_tables12, rounds=1, iterations=1)
+    save_output("tables12", result.render())
+    # Section 3.3.5's ordering claims.
+    assert complexity_score(MULTI_T_MV_EAGER) < complexity_score(SINGLE_T_LAZY)
+    assert complexity_score(MULTI_T_MV_LAZY) < complexity_score(MULTI_T_MV_FMM)
+    assert complexity_score(SINGLE_T_EAGER) == 0

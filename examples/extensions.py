@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Beyond the base protocol: ORB commits, HLAP, and application speedups.
+
+Three extensions the paper discusses but does not evaluate:
+
+1. **ORB eager commits** (Section 4.1 footnote) — committing by issuing
+   ownership requests (Steffan et al.) instead of data write-backs;
+2. **High-Level Access Patterns** (excluded from the base protocol, from
+   Prvulovic01) — the compiler declares the ``work`` array mostly-private,
+   so speculative writes skip fetching the stale previous version;
+3. **whole-application speedup** (Section 4.2) — weighting the speculative
+   section's speedup by its share of sequential execution time.
+
+Run:  python examples/extensions.py
+"""
+
+from dataclasses import replace
+
+from repro import MULTI_T_MV_EAGER, MULTI_T_MV_LAZY, NUMA_16, Simulation, simulate
+from repro.analysis.application import application_speedup
+from repro.analysis.report import render_table
+from repro.workloads.apps import generate_workload
+
+
+def main() -> None:
+    workload = generate_workload("Apsi", scale=0.4)
+
+    print("=== ORB vs write-back eager commits ===")
+    orb_machine = NUMA_16.with_costs(
+        replace(NUMA_16.costs, eager_commit_mode="orb"))
+    writeback = simulate(NUMA_16, MULTI_T_MV_EAGER, workload)
+    orb = simulate(orb_machine, MULTI_T_MV_EAGER, workload)
+    lazy = simulate(NUMA_16, MULTI_T_MV_LAZY, workload)
+    print(render_table(
+        ["Commit mechanism", "Total cycles", "Token hold cycles"],
+        [
+            ("Eager, data write-backs", writeback.total_cycles,
+             writeback.token_hold_cycles),
+            ("Eager, ORB ownership requests", orb.total_cycles,
+             orb.token_hold_cycles),
+            ("Lazy (for reference)", lazy.total_cycles,
+             lazy.token_hold_cycles),
+        ],
+    ))
+
+    print("\n=== High-Level Access Patterns (mostly-private declaration) ===")
+    base = Simulation(NUMA_16, MULTI_T_MV_LAZY, workload).run()
+    hlap = Simulation(NUMA_16, MULTI_T_MV_LAZY, workload,
+                      high_level_patterns=True).run()
+    gain = 1 - hlap.total_cycles / base.total_cycles
+    print(f"base protocol : {base.total_cycles:>10,.0f} cycles")
+    print(f"with HLAP     : {hlap.total_cycles:>10,.0f} cycles "
+          f"({gain:.0%} faster — no stale-version fetch on work())")
+
+    print("\n=== Whole-application speedup (Amdahl over %Tseq) ===")
+    rows = []
+    for app in ("Tree", "Apsi", "Bdna"):
+        summary = application_speedup(NUMA_16, MULTI_T_MV_LAZY, app,
+                                      scale=0.4)
+        rows.append((
+            app, f"{summary.loop_fraction:.0%}",
+            f"{summary.loop_speedup:.1f}x",
+            f"{summary.overall_rest_sequential:.2f}x",
+            f"{summary.overall_rest_parallel:.2f}x",
+        ))
+    print(render_table(
+        ["App", "loops %Tseq", "loop speedup", "overall (rest seq.)",
+         "overall (rest parallel)"],
+        rows,
+    ))
+    print("\nTree's loops are 92% of the program, so the loop speedup "
+          "carries through; Apsi's are only 29%, so even a large loop "
+          "speedup moves the whole application modestly — the paper's "
+          "Section 4.2 weighting, made explicit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Visualize execution and commit wavefronts of a real application.
+
+Runs a scaled-down application under Eager and Lazy merging, renders the
+per-processor timeline (task digits executing, ``c`` committing), and uses
+the trace recorder to measure how far the commit wavefront lags the
+execution wavefront — the distance Figure 6 of the paper illustrates.
+
+Run:  python examples/wavefronts.py [app]
+"""
+
+import sys
+
+from repro import (
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_LAZY,
+    NUMA_16,
+    Simulation,
+    TraceEvent,
+    TraceRecorder,
+    generate_workload,
+)
+from repro.analysis.report import render_task_timeline
+from repro.core.config import scaled_machine
+
+
+def wavefront_lag(trace: TraceRecorder) -> float:
+    """Mean cycles between a task finishing and its commit completing."""
+    done = {r.task_id: r.time for r in trace.records(TraceEvent.TASK_DONE)}
+    lags = [
+        r.time - done[r.task_id]
+        for r in trace.records(TraceEvent.COMMIT_DONE)
+        if r.task_id in done
+    ]
+    return sum(lags) / len(lags) if lags else 0.0
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "Apsi"
+    machine = scaled_machine(NUMA_16, 4)
+    workload = generate_workload(app, scale=0.08)
+
+    for scheme in (MULTI_T_MV_EAGER, MULTI_T_MV_LAZY):
+        trace = TraceRecorder()
+        result = Simulation(machine, scheme, workload, trace=trace).run()
+        intervals = [
+            (t.task_id, t.proc_id, t.start_time, t.finish_time,
+             t.commit_start, t.commit_end)
+            for t in result.task_timings
+        ]
+        print(render_task_timeline(
+            intervals, result.total_cycles, machine.n_procs,
+            title=(f"\n[{scheme.name}] {app}: "
+                   f"{result.total_cycles:,.0f} cycles, token held "
+                   f"{result.token_hold_cycles:,.0f} cycles"),
+        ))
+        print(f"   mean finish-to-commit lag: {wavefront_lag(trace):,.0f} "
+              f"cycles")
+
+    print("\nUnder Eager merging the commit wavefront (the c's) trails the "
+          "execution wavefront and serializes behind the token; Lazy "
+          "merging compresses each commit to a token pass, so tasks retire "
+          "almost as soon as their turn comes.")
+
+
+if __name__ == "__main__":
+    main()

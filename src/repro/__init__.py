@@ -1,0 +1,128 @@
+"""repro — reproduction of "Tradeoffs in Buffering Memory State for
+Thread-Level Speculation in Multiprocessors" (Garzarán et al., HPCA-9, 2003).
+
+The package provides:
+
+* a taxonomy of buffering approaches (``repro.core.taxonomy``) with the
+  hardware-support / complexity analysis of the paper's Tables 1-2;
+* a discrete-event multiprocessor simulator (``repro.core.engine``) with
+  version caches, overflow areas, undo logs, a commit token, and
+  word-granularity violation detection;
+* synthetic workload generators matching the paper's seven applications
+  (``repro.workloads``);
+* baselines (``repro.baselines``) and an experiment harness
+  (``repro.analysis``) regenerating every table and figure.
+
+Quick start::
+
+    from repro import NUMA_16, MULTI_T_MV_LAZY, generate_workload, simulate
+
+    workload = generate_workload("Apsi", scale=0.25)
+    result = simulate(NUMA_16, MULTI_T_MV_LAZY, workload)
+    print(result.summary())
+"""
+
+from repro.baselines import (
+    CoarseRecoveryResult,
+    SequentialResult,
+    simulate_coarse_recovery,
+    simulate_sequential,
+)
+from repro.core import (
+    AMM_SCHEMES,
+    CMP_8,
+    CacheGeometry,
+    CostModel,
+    EVALUATED_SCHEMES,
+    MACHINES,
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_FMM,
+    MULTI_T_MV_FMM_SW,
+    MULTI_T_MV_LAZY,
+    MULTI_T_SV_EAGER,
+    MULTI_T_SV_LAZY,
+    MachineConfig,
+    MergePolicy,
+    NUMA_16,
+    NUMA_16_BIG_L2,
+    PRIOR_SCHEMES,
+    SINGLE_T_EAGER,
+    SINGLE_T_LAZY,
+    Scheme,
+    Simulation,
+    SimulationResult,
+    Support,
+    TaskPolicy,
+    TraceEvent,
+    TraceRecord,
+    TraceRecorder,
+    complexity_score,
+    required_supports,
+    scheme_from_name,
+    simulate,
+)
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.workloads import (
+    APPLICATION_ORDER,
+    APPLICATIONS,
+    ApplicationProfile,
+    Workload,
+    generate_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AMM_SCHEMES",
+    "APPLICATIONS",
+    "APPLICATION_ORDER",
+    "ApplicationProfile",
+    "CMP_8",
+    "CacheGeometry",
+    "CoarseRecoveryResult",
+    "ConfigurationError",
+    "CostModel",
+    "EVALUATED_SCHEMES",
+    "MACHINES",
+    "MULTI_T_MV_EAGER",
+    "MULTI_T_MV_FMM",
+    "MULTI_T_MV_FMM_SW",
+    "MULTI_T_MV_LAZY",
+    "MULTI_T_SV_EAGER",
+    "MULTI_T_SV_LAZY",
+    "MachineConfig",
+    "MergePolicy",
+    "NUMA_16",
+    "NUMA_16_BIG_L2",
+    "PRIOR_SCHEMES",
+    "ProtocolError",
+    "ReproError",
+    "SINGLE_T_EAGER",
+    "SINGLE_T_LAZY",
+    "Scheme",
+    "SequentialResult",
+    "Simulation",
+    "SimulationError",
+    "SimulationResult",
+    "Support",
+    "TaskPolicy",
+    "TraceEvent",
+    "TraceRecord",
+    "TraceRecorder",
+    "Workload",
+    "WorkloadError",
+    "complexity_score",
+    "generate_workload",
+    "required_supports",
+    "scheme_from_name",
+    "simulate",
+    "simulate_coarse_recovery",
+    "simulate_sequential",
+    "__version__",
+]

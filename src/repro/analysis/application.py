@@ -1,0 +1,76 @@
+"""Whole-application speedup estimation (Section 4.2 of the paper).
+
+The evaluation simulates only the non-analyzable loops; Section 4.2 notes
+that, because barriers separate analyzable from non-analyzable sections,
+"the overall application speedup can be estimated by weighting the speedups
+[of the speculative sections] by the % of Tseq from the table". That is
+Amdahl's law with the non-analyzable fraction running at the measured
+speculative speedup and the rest of the application assumed ideally
+parallelized (optimistic bound) or left sequential (pessimistic bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.sequential import simulate_sequential
+from repro.core.config import MachineConfig
+from repro.core.engine import simulate
+from repro.core.taxonomy import Scheme
+from repro.errors import ConfigurationError
+from repro.workloads.apps import APPLICATIONS, generate_workload
+
+
+def overall_speedup(loop_speedup: float, loop_fraction: float,
+                    rest_speedup: float = 1.0) -> float:
+    """Amdahl combination of the speculative loops with the rest.
+
+    ``loop_fraction`` is the non-analyzable share of sequential execution
+    time (the paper's "% of Tseq"); ``rest_speedup`` is what the analyzable
+    remainder achieves (1.0 = left sequential; n_procs = ideally
+    parallelized by the compiler).
+    """
+    if not 0.0 <= loop_fraction <= 1.0:
+        raise ConfigurationError(
+            f"loop_fraction must be in [0, 1], got {loop_fraction}")
+    if loop_speedup <= 0 or rest_speedup <= 0:
+        raise ConfigurationError("speedups must be positive")
+    return 1.0 / (loop_fraction / loop_speedup
+                  + (1.0 - loop_fraction) / rest_speedup)
+
+
+@dataclass(frozen=True)
+class ApplicationSpeedup:
+    """Loop and whole-application speedups for one application."""
+
+    app: str
+    scheme_name: str
+    machine_name: str
+    loop_fraction: float
+    loop_speedup: float
+    #: Whole-application speedup with the analyzable rest left sequential.
+    overall_rest_sequential: float
+    #: Whole-application speedup with the rest ideally parallelized.
+    overall_rest_parallel: float
+
+
+def application_speedup(machine: MachineConfig, scheme: Scheme, app: str,
+                        *, scale: float = 1.0,
+                        seed: int = 0) -> ApplicationSpeedup:
+    """Measure the loop speedup and combine it with the paper's %Tseq."""
+    profile = APPLICATIONS[app]
+    workload = generate_workload(app, scale=scale, seed=seed)
+    sequential = simulate_sequential(machine, workload)
+    result = simulate(machine, scheme, workload)
+    loop_speedup = result.speedup_over(sequential.total_cycles)
+    fraction = profile.paper.pct_of_tseq / 100.0
+    return ApplicationSpeedup(
+        app=app,
+        scheme_name=scheme.name,
+        machine_name=machine.name,
+        loop_fraction=fraction,
+        loop_speedup=loop_speedup,
+        overall_rest_sequential=overall_speedup(loop_speedup, fraction, 1.0),
+        overall_rest_parallel=overall_speedup(loop_speedup, fraction,
+                                              float(machine.n_procs)),
+    )

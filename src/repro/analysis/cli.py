@@ -1,0 +1,142 @@
+"""Command-line interface: ``repro-tls <experiment|run|list> [options]``.
+
+* ``repro-tls list`` — enumerate the available experiments.
+* ``repro-tls <experiment>`` — regenerate one of the paper's tables or
+  figures (``all`` runs every one).
+* ``repro-tls run --app Apsi --scheme "MultiT&MV Lazy AMM"`` — one
+  simulation with full control over machine, seed, scale, and the
+  extension features (HLAP, ORB commits, bank contention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import EXPERIMENTS, ExperimentContext
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (task-count multiplier, default 1.0)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload generation seed (default 0)",
+    )
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.baselines.sequential import simulate_sequential
+    from repro.core.config import MACHINES
+    from repro.core.engine import Simulation
+    from repro.core.taxonomy import scheme_from_name
+    from repro.workloads.apps import generate_workload
+
+    machine = MACHINES[args.machine]
+    costs = machine.costs
+    if args.orb:
+        costs = replace(costs, eager_commit_mode="orb")
+    if args.bank_service:
+        costs = replace(costs, memory_bank_service=args.bank_service)
+    machine = machine.with_costs(costs)
+
+    scheme = scheme_from_name(args.scheme)
+    workload = generate_workload(args.app, seed=args.seed, scale=args.scale,
+                                 invocations=args.invocations)
+    result = Simulation(machine, scheme, workload,
+                        high_level_patterns=args.hlap).run()
+    sequential = simulate_sequential(machine, workload)
+
+    print(result.summary())
+    print(f"speedup over sequential : "
+          f"{result.speedup_over(sequential.total_cycles):.2f}x")
+    print(f"commit/execution ratio  : {result.commit_exec_ratio():.2%}")
+    print(f"spec tasks in system    : {result.avg_spec_tasks_in_system:.1f}"
+          f" ({result.avg_spec_tasks_per_proc:.2f}/proc)")
+    print(f"squashes                : {result.violation_events} events, "
+          f"{result.squashed_executions} task executions")
+    total = sum(result.cycles_by_category.values())
+    for category, cycles in result.cycles_by_category.items():
+        print(f"  {category.value:<13} {cycles / total:6.1%}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-tls",
+        description=("Reproduce tables/figures from 'Tradeoffs in Buffering "
+                     "Memory State for Thread-Level Speculation in "
+                     "Multiprocessors' (HPCA 2003)"),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'run' for a single simulation, 'list', "
+             "or 'all'",
+    )
+    _add_common(parser)
+    parser.add_argument("--app", default="Apsi",
+                        help="application for 'run' (default Apsi)")
+    parser.add_argument("--scheme", default="MultiT&MV Lazy AMM",
+                        help="scheme name for 'run'")
+    parser.add_argument("--machine", default="numa16",
+                        choices=["numa16", "numa16-bigl2", "cmp8"],
+                        help="machine preset for 'run'")
+    parser.add_argument("--invocations", type=int, default=1,
+                        help="loop invocations for 'run' (default 1)")
+    parser.add_argument("--hlap", action="store_true",
+                        help="enable High-Level Access Patterns for 'run'")
+    parser.add_argument("--orb", action="store_true",
+                        help="use ORB ownership-request eager commits")
+    parser.add_argument("--bank-service", type=int, default=0,
+                        help="memory-bank occupancy cycles (contention)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        print("run")
+        return 0
+    if args.experiment == "run":
+        return _run_single(args)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"try 'repro-tls list'", file=sys.stderr)
+        return 2
+
+    ctx = ExperimentContext(scale=args.scale, seed=args.seed)
+    for name in names:
+        runner = EXPERIMENTS[name]
+        try:
+            result = runner(ctx)  # type: ignore[call-arg]
+        except TypeError:
+            result = runner()  # static experiments take no context
+        print(result.render())
+        print()
+    return 0
+
+
+def entry() -> int:
+    """Console-script entry point: exits quietly on a closed pipe."""
+    try:
+        return main()
+    except BrokenPipeError:
+        import os
+        import sys
+
+        # Piping into `head` closes stdout early; that is not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            os._exit(0)
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(entry())

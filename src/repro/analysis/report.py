@@ -1,0 +1,146 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+The paper's figures are stacked-bar charts; the harness renders them as
+unicode bars (busy portion solid, stall portion shaded) with the same
+normalization the paper uses (execution time relative to SingleT Eager AMM,
+speedup over sequential printed above each bar). Tables render as aligned
+ASCII grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+_BAR_WIDTH = 44
+_FULL = "█"
+_LIGHT = "░"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+@dataclass(frozen=True)
+class Bar:
+    """One stacked bar: normalized length split into busy and stall."""
+
+    label: str
+    normalized: float
+    busy_fraction: float
+    annotation: str = ""
+
+
+def render_bars(bars: Sequence[Bar], title: str | None = None,
+                reference: float = 1.0) -> str:
+    """Render stacked bars, scaled so ``reference`` fills the bar width.
+
+    Busy cycles render solid, stalls render shaded — the two-way split of
+    Figures 9-11.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    if not bars:
+        return "\n".join(lines)
+    label_w = max(len(b.label) for b in bars)
+    peak = max(max(b.normalized for b in bars), reference)
+    for bar in bars:
+        total_cells = round(_BAR_WIDTH * bar.normalized / peak)
+        busy_cells = round(total_cells * bar.busy_fraction)
+        stall_cells = total_cells - busy_cells
+        body = _FULL * busy_cells + _LIGHT * stall_cells
+        lines.append(
+            f"{bar.label.ljust(label_w)} |{body.ljust(_BAR_WIDTH)}| "
+            f"{bar.normalized:5.2f}  {bar.annotation}"
+        )
+    lines.append(f"{''.ljust(label_w)}  ({_FULL} busy, {_LIGHT} stall; "
+                 f"bar length = time normalized to reference)")
+    return "\n".join(lines)
+
+
+def render_timeline(segments: dict[int, list[tuple[str, float, float]]],
+                    total: float, title: str | None = None,
+                    width: int = 72) -> str:
+    """Render per-processor execution/commit timelines (Figures 5 and 6).
+
+    ``segments`` maps processor id to (kind, start, end) intervals; kind
+    "exec" renders as the task digit block, "commit" as ``c``, gaps as
+    spaces.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    scale = width / total if total else 1.0
+    for proc_id in sorted(segments):
+        row = [" "] * width
+        for kind, start, end in segments[proc_id]:
+            lo = min(width - 1, int(start * scale))
+            hi = min(width, max(lo + 1, int(end * scale)))
+            fill = kind[0] if kind else "?"
+            for i in range(lo, hi):
+                row[i] = fill
+        lines.append(f"P{proc_id} |{''.join(row)}|")
+    lines.append(f"   0{'cycles'.rjust(width - 1)}={total:,.0f}")
+    return "\n".join(lines)
+
+
+def render_task_timeline(
+    intervals: list[tuple[int, int, float, float, float, float]],
+    total: float, n_procs: int, title: str | None = None,
+    width: int = 72,
+) -> str:
+    """Render task execution (digits) and commit (c) per processor.
+
+    ``intervals`` holds (task_id, proc_id, start, finish, commit_start,
+    commit_end) tuples.
+    """
+    rows = {p: [" "] * width for p in range(n_procs)}
+    scale = width / total if total else 1.0
+    for task_id, proc_id, start, finish, cstart, cend in intervals:
+        if proc_id not in rows:
+            continue
+        digit = str(task_id % 10)
+        lo = min(width - 1, int(start * scale))
+        hi = min(width, max(lo + 1, int(finish * scale)))
+        for i in range(lo, hi):
+            rows[proc_id][i] = digit
+        clo = min(width - 1, int(cstart * scale))
+        chi = min(width, max(clo + 1, int(cend * scale)))
+        for i in range(clo, chi):
+            rows[proc_id][i] = "c"
+    lines = []
+    if title:
+        lines.append(title)
+    for proc_id in sorted(rows):
+        lines.append(f"P{proc_id} |{''.join(rows[proc_id])}|")
+    lines.append(f"   (digits: executing task id mod 10; c: committing; "
+                 f"span = {total:,.0f} cycles)")
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""JSON serialization of workloads and results.
+
+Lets users archive runs, diff reproductions across machines, or feed the
+measurements into external tooling. Workloads round-trip exactly;
+results serialize the measured quantities (the full memory image is
+optional, as it can be megabytes for large runs).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.results import SimulationResult
+from repro.core.taxonomy import scheme_from_name
+from repro.errors import WorkloadError
+from repro.processor.processor import CycleCategory
+from repro.tls.task import TaskSpec
+from repro.workloads.base import Workload
+
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def workload_to_dict(workload: Workload) -> dict[str, Any]:
+    """A JSON-ready representation of a workload (exact round-trip)."""
+    return {
+        "format": _FORMAT_VERSION,
+        "name": workload.name,
+        "description": workload.description,
+        "priv_base": workload.priv_predicate_base,
+        "priv_limit": workload.priv_predicate_limit,
+        "tasks": [
+            {"id": task.task_id, "ops": [list(op) for op in task.ops]}
+            for task in workload.tasks
+        ],
+    }
+
+
+def workload_from_dict(data: dict[str, Any]) -> Workload:
+    """Rebuild a workload serialized by :func:`workload_to_dict`."""
+    if data.get("format") != _FORMAT_VERSION:
+        raise WorkloadError(
+            f"unsupported workload format {data.get('format')!r}")
+    tasks = tuple(
+        TaskSpec(task_id=t["id"],
+                 ops=tuple((kind, value) for kind, value in t["ops"]))
+        for t in data["tasks"]
+    )
+    return Workload(
+        name=data["name"],
+        tasks=tasks,
+        priv_predicate_base=data["priv_base"],
+        priv_predicate_limit=data["priv_limit"],
+        description=data.get("description", ""),
+    )
+
+
+def save_workload(workload: Workload, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(workload_to_dict(workload), handle)
+
+
+def load_workload(path: str) -> Workload:
+    with open(path) as handle:
+        return workload_from_dict(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def result_to_dict(result: SimulationResult,
+                   include_image: bool = False) -> dict[str, Any]:
+    """A JSON-ready representation of a simulation result.
+
+    ``include_image`` adds the word -> producer memory image (large).
+    """
+    data: dict[str, Any] = {
+        "format": _FORMAT_VERSION,
+        "scheme": result.scheme.name,
+        "machine": result.machine_name,
+        "workload": result.workload_name,
+        "n_procs": result.n_procs,
+        "n_tasks": result.n_tasks,
+        "total_cycles": result.total_cycles,
+        "cycles_by_category": {
+            category.value: cycles
+            for category, cycles in result.cycles_by_category.items()
+        },
+        "violation_events": result.violation_events,
+        "squashed_executions": result.squashed_executions,
+        "token_hold_cycles": result.token_hold_cycles,
+        "avg_spec_tasks_in_system": result.avg_spec_tasks_in_system,
+        "avg_written_footprint_bytes": result.avg_written_footprint_bytes,
+        "priv_footprint_fraction": result.priv_footprint_fraction,
+        "commit_exec_ratio": result.commit_exec_ratio(),
+        "busy_fraction": result.busy_fraction(),
+        "peak_overflow_lines": result.peak_overflow_lines,
+        "peak_undolog_entries": result.peak_undolog_entries,
+        "wasted_busy_cycles": result.wasted_busy_cycles,
+        "l2_hit_rate": result.l2_hit_rate,
+        "traffic": {
+            "remote_cache_fetches": result.traffic.remote_cache_fetches,
+            "memory_fetches": result.traffic.memory_fetches,
+            "line_writebacks": result.traffic.line_writebacks,
+            "vcl_merges": result.traffic.vcl_merges,
+            "overflow_spills": result.traffic.overflow_spills,
+            "overflow_fetches": result.traffic.overflow_fetches,
+        },
+    }
+    if include_image:
+        data["memory_image"] = {
+            str(word): producer
+            for word, producer in result.memory_image.items()
+        }
+    return data
+
+
+def result_summary_from_dict(data: dict[str, Any]) -> dict[str, Any]:
+    """Validate and normalize a serialized result for external analysis.
+
+    Returns a flat summary dict with the scheme resolved back to its
+    taxonomy object and category names validated.
+    """
+    if data.get("format") != _FORMAT_VERSION:
+        raise WorkloadError(
+            f"unsupported result format {data.get('format')!r}")
+    known = {c.value for c in CycleCategory}
+    unknown = set(data["cycles_by_category"]) - known
+    if unknown:
+        raise WorkloadError(f"unknown cycle categories: {sorted(unknown)}")
+    return {
+        "scheme": scheme_from_name(data["scheme"]),
+        "machine": data["machine"],
+        "workload": data["workload"],
+        "total_cycles": float(data["total_cycles"]),
+        "busy_fraction": float(data["busy_fraction"]),
+        "violation_events": int(data["violation_events"]),
+    }
+
+
+def save_result(result: SimulationResult, path: str,
+                include_image: bool = False) -> None:
+    with open(path, "w") as handle:
+        json.dump(result_to_dict(result, include_image=include_image), handle)

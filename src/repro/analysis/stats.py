@@ -1,0 +1,96 @@
+"""Cross-run statistics: seed sweeps and robustness summaries.
+
+The paper reports single-run numbers from deterministic simulation; this
+module adds the machinery a reproduction needs to show its conclusions are
+not artifacts of one generated reference stream — run the same experiment
+across several workload seeds and summarize the spread.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.config import MachineConfig
+from repro.core.engine import simulate
+from repro.core.results import SimulationResult
+from repro.core.taxonomy import Scheme
+from repro.errors import ConfigurationError
+from repro.workloads.apps import generate_workload
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Mean / spread summary of one measured quantity across seeds."""
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ConfigurationError("SampleStats needs at least one value")
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0 for a single value)."""
+        if self.n < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(sum((v - mean) ** 2 for v in self.values)
+                         / (self.n - 1))
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    def all_positive(self) -> bool:
+        return all(v > 0 for v in self.values)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.std:.3f} (n={self.n})"
+
+
+def seed_sweep(machine: MachineConfig, scheme: Scheme, app: str,
+               seeds: Sequence[int], *, scale: float = 1.0,
+               ) -> list[SimulationResult]:
+    """Simulate one (machine, scheme, app) across several workload seeds."""
+    if not seeds:
+        raise ConfigurationError("seed_sweep needs at least one seed")
+    return [
+        simulate(machine, scheme, generate_workload(app, seed=seed,
+                                                    scale=scale))
+        for seed in seeds
+    ]
+
+
+def metric_over_seeds(results: Iterable[SimulationResult],
+                      metric: Callable[[SimulationResult], float],
+                      ) -> SampleStats:
+    """Collect one metric across a seed sweep."""
+    return SampleStats(values=tuple(metric(r) for r in results))
+
+
+def reduction_over_seeds(machine: MachineConfig, faster: Scheme,
+                         reference: Scheme, app: str, seeds: Sequence[int],
+                         *, scale: float = 1.0) -> SampleStats:
+    """Per-seed relative execution-time reduction of ``faster`` vs
+    ``reference`` — the quantity behind every headline claim."""
+    fast_runs = seed_sweep(machine, faster, app, seeds, scale=scale)
+    ref_runs = seed_sweep(machine, reference, app, seeds, scale=scale)
+    values = tuple(
+        1.0 - fast.total_cycles / ref.total_cycles
+        for fast, ref in zip(fast_runs, ref_runs)
+    )
+    return SampleStats(values=values)

@@ -1,0 +1,179 @@
+"""Self-contained SVG rendering of the reproduced figures.
+
+The benchmark outputs are plain text; this module additionally renders the
+stacked-bar figures (9, 10, 11) as standalone SVG files — no plotting
+library required — so the reproduction can ship paper-style artifacts.
+
+The layout mirrors the paper's figures: one group of bars per application,
+bars split into a busy (solid) and stall (hatched-light) segment, heights
+proportional to normalized execution time, speedups printed above.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Colors chosen for print-friendliness (dark busy, light stall).
+BUSY_COLOR = "#26547c"
+STALL_COLOR = "#b8d0e8"
+AXIS_COLOR = "#444444"
+TEXT_COLOR = "#222222"
+
+
+@dataclass(frozen=True)
+class SvgBar:
+    """One stacked bar: normalized height split into busy and stall."""
+
+    label: str
+    normalized: float
+    busy_fraction: float
+    annotation: str = ""
+
+    def __post_init__(self) -> None:
+        if self.normalized < 0:
+            raise ConfigurationError(
+                f"bar {self.label!r} has negative height")
+        if not 0.0 <= self.busy_fraction <= 1.0:
+            raise ConfigurationError(
+                f"bar {self.label!r} busy fraction outside [0, 1]")
+
+
+def render_grouped_bars_svg(
+    groups: dict[str, list[SvgBar]],
+    title: str,
+    *,
+    bar_width: int = 18,
+    bar_gap: int = 4,
+    group_gap: int = 30,
+    plot_height: int = 260,
+) -> str:
+    """Render groups of stacked bars as a standalone SVG document."""
+    if not groups:
+        raise ConfigurationError("no bar groups to render")
+    peak = max(
+        (bar.normalized for bars in groups.values() for bar in bars),
+        default=1.0,
+    )
+    peak = max(peak, 1e-9)
+
+    margin_left = 48
+    margin_top = 48
+    margin_bottom = 96
+    x = margin_left
+    elements: list[str] = []
+    baseline = margin_top + plot_height
+
+    def esc(text: str) -> str:
+        return html.escape(text, quote=True)
+
+    for group_name, bars in groups.items():
+        group_start = x
+        for bar in bars:
+            height = plot_height * bar.normalized / peak
+            busy_height = height * bar.busy_fraction
+            stall_height = height - busy_height
+            top = baseline - height
+            # Stall segment sits on top of the busy segment (paper style:
+            # busy at the bottom of the bar).
+            elements.append(
+                f'<rect x="{x}" y="{top:.1f}" width="{bar_width}" '
+                f'height="{stall_height:.1f}" fill="{STALL_COLOR}" '
+                f'stroke="{AXIS_COLOR}" stroke-width="0.5"/>'
+            )
+            elements.append(
+                f'<rect x="{x}" y="{top + stall_height:.1f}" '
+                f'width="{bar_width}" height="{busy_height:.1f}" '
+                f'fill="{BUSY_COLOR}" stroke="{AXIS_COLOR}" '
+                f'stroke-width="0.5"/>'
+            )
+            if bar.annotation:
+                elements.append(
+                    f'<text x="{x + bar_width / 2:.1f}" y="{top - 4:.1f}" '
+                    f'font-size="8" text-anchor="middle" '
+                    f'fill="{TEXT_COLOR}">{esc(bar.annotation)}</text>'
+                )
+            elements.append(
+                f'<text x="{x + bar_width / 2:.1f}" y="{baseline + 10}" '
+                f'font-size="7" text-anchor="end" fill="{TEXT_COLOR}" '
+                f'transform="rotate(-55 {x + bar_width / 2:.1f} '
+                f'{baseline + 10})">{esc(bar.label)}</text>'
+            )
+            x += bar_width + bar_gap
+        group_center = (group_start + x - bar_gap) / 2
+        elements.append(
+            f'<text x="{group_center:.1f}" y="{margin_top - 8}" '
+            f'font-size="11" text-anchor="middle" font-weight="bold" '
+            f'fill="{TEXT_COLOR}">{esc(group_name)}</text>'
+        )
+        x += group_gap
+
+    width = x + 8
+    height = baseline + margin_bottom
+
+    # Axis with a reference line at 1.0 (the normalization baseline).
+    reference_y = baseline - plot_height * 1.0 / peak
+    axis = [
+        f'<line x1="{margin_left - 6}" y1="{baseline}" x2="{width - 4}" '
+        f'y2="{baseline}" stroke="{AXIS_COLOR}" stroke-width="1"/>',
+        f'<line x1="{margin_left - 6}" y1="{reference_y:.1f}" '
+        f'x2="{width - 4}" y2="{reference_y:.1f}" stroke="{AXIS_COLOR}" '
+        f'stroke-width="0.5" stroke-dasharray="4 3"/>',
+        f'<text x="{margin_left - 10}" y="{reference_y + 3:.1f}" '
+        f'font-size="8" text-anchor="end" fill="{TEXT_COLOR}">1.0</text>',
+        f'<text x="{margin_left - 10}" y="{baseline + 3}" font-size="8" '
+        f'text-anchor="end" fill="{TEXT_COLOR}">0</text>',
+    ]
+
+    legend_y = height - 40
+    legend = [
+        f'<rect x="{margin_left}" y="{legend_y}" width="10" height="10" '
+        f'fill="{BUSY_COLOR}"/>',
+        f'<text x="{margin_left + 14}" y="{legend_y + 9}" font-size="9" '
+        f'fill="{TEXT_COLOR}">busy</text>',
+        f'<rect x="{margin_left + 60}" y="{legend_y}" width="10" '
+        f'height="10" fill="{STALL_COLOR}" stroke="{AXIS_COLOR}" '
+        f'stroke-width="0.5"/>',
+        f'<text x="{margin_left + 74}" y="{legend_y + 9}" font-size="9" '
+        f'fill="{TEXT_COLOR}">stall</text>',
+    ]
+
+    return "\n".join([
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{margin_left}" y="16" font-size="12" font-weight="bold" '
+        f'fill="{TEXT_COLOR}">{esc(title)}</text>',
+        *axis,
+        *elements,
+        *legend,
+        "</svg>",
+    ])
+
+
+def scheme_bars_to_svg(result, title: str | None = None) -> str:
+    """Render a :class:`~repro.analysis.experiments.SchemeBarsResult`.
+
+    One bar group per application, one stacked bar per scheme, speedup
+    annotated above each bar — the layout of Figures 9-11.
+    """
+    groups: dict[str, list[SvgBar]] = {}
+    for app, per_scheme in result.cells.items():
+        bars = []
+        for scheme in result.schemes:
+            normalized, busy, speedup = per_scheme[scheme.name]
+            bars.append(SvgBar(
+                label=scheme.name.replace(" AMM", ""),
+                normalized=normalized,
+                busy_fraction=busy,
+                annotation=f"{speedup:.1f}",
+            ))
+        groups[app] = bars
+    return render_grouped_bars_svg(groups, title or result.title)
+
+
+def save_svg(svg_text: str, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(svg_text + "\n")

@@ -1,0 +1,11 @@
+"""Baselines: sequential execution and LRPD-style coarse recovery."""
+
+from repro.baselines.coarse import CoarseRecoveryResult, simulate_coarse_recovery
+from repro.baselines.sequential import SequentialResult, simulate_sequential
+
+__all__ = [
+    "CoarseRecoveryResult",
+    "SequentialResult",
+    "simulate_coarse_recovery",
+    "simulate_sequential",
+]

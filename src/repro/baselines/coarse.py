@@ -1,0 +1,80 @@
+"""Coarse-recovery speculation baseline (the LRPD / SUDS class of Figure 4).
+
+These software-only schemes keep no fine-grained MHB: the only recoverable
+state is the snapshot taken before the speculative section, so any
+dependence violation squashes the *entire* section, which then re-executes
+sequentially. Success costs the parallel execution plus a section-level
+commit (software copy-out of the written footprint); failure costs the
+failed parallel attempt plus the full sequential re-execution.
+
+The model reuses the engine under MultiT&MV Eager AMM to price the parallel
+attempt (any violation marks the attempt failed) and the sequential
+baseline to price the re-execution — the paper does not evaluate this class
+quantitatively, but it completes the taxonomy and makes a good ablation
+example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.sequential import simulate_sequential
+from repro.core.config import MachineConfig
+from repro.core.engine import simulate
+from repro.core.taxonomy import MULTI_T_MV_EAGER
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class CoarseRecoveryResult:
+    """Outcome of the coarse-recovery (LRPD-style) model."""
+
+    workload_name: str
+    machine_name: str
+    total_cycles: float
+    attempt_cycles: float
+    violated: bool
+    sequential_fallback_cycles: float
+    copy_out_cycles: float
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.violated
+
+
+def simulate_coarse_recovery(
+    machine: MachineConfig,
+    workload: Workload,
+    *,
+    copy_out_instructions_per_word: int = 4,
+) -> CoarseRecoveryResult:
+    """Price ``workload`` under an LRPD-style coarse-recovery scheme."""
+    attempt = simulate(machine, MULTI_T_MV_EAGER, workload)
+    violated = attempt.violation_events > 0
+
+    words_written = len({
+        word
+        for task in workload.tasks
+        for word in task.written_words()
+    })
+    copy_out = (
+        words_written * copy_out_instructions_per_word / machine.costs.ipc
+    )
+
+    if violated:
+        sequential = simulate_sequential(machine, workload)
+        total = attempt.total_cycles + sequential.total_cycles
+        fallback = sequential.total_cycles
+    else:
+        total = attempt.total_cycles + copy_out
+        fallback = 0.0
+
+    return CoarseRecoveryResult(
+        workload_name=workload.name,
+        machine_name=machine.name,
+        total_cycles=total,
+        attempt_cycles=attempt.total_cycles,
+        violated=violated,
+        sequential_fallback_cycles=fallback,
+        copy_out_cycles=copy_out if not violated else 0.0,
+    )

@@ -1,0 +1,264 @@
+"""The paper's two-axis taxonomy of speculative-state buffering approaches.
+
+The taxonomy (Figure 2-(a) of the paper) classifies buffering schemes along:
+
+* **Separation of task state** (:class:`TaskPolicy`) — what a single
+  processor's buffer can hold: one speculative task (``SINGLE_T``), several
+  tasks but a single version of any variable (``MULTI_T_SV``), or several
+  tasks with multiple versions of the same variable (``MULTI_T_MV``).
+* **Merging of task state** (:class:`MergePolicy`) — when versions reach
+  main memory: strictly at commit (``EAGER_AMM``), lazily after commit
+  (``LAZY_AMM``), or at any time with undo logging (``FMM``).
+
+:class:`Scheme` pairs one value from each axis (plus the software-logging
+variant of FMM). The module also records the paper's Figure 4 mapping of
+previously-published TLS systems onto the taxonomy and the Figure 8 map of
+application characteristics that limit each scheme.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class TaskPolicy(enum.Enum):
+    """How much speculative task state one processor's buffer separates."""
+
+    SINGLE_T = "SingleT"
+    MULTI_T_SV = "MultiT&SV"
+    MULTI_T_MV = "MultiT&MV"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class MergePolicy(enum.Enum):
+    """When task state merges with the coherent main-memory state."""
+
+    EAGER_AMM = "Eager AMM"
+    LAZY_AMM = "Lazy AMM"
+    FMM = "FMM"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def is_architectural(self) -> bool:
+        """True for AMM policies, where main memory holds only safe data."""
+        return self in (MergePolicy.EAGER_AMM, MergePolicy.LAZY_AMM)
+
+
+@dataclass(frozen=True)
+class Scheme:
+    """One point in the taxonomy, optionally with software undo logging.
+
+    ``software_log`` only makes sense for FMM schemes: it models the paper's
+    FMM.Sw variant, where the MHB is built by plain instructions added to the
+    application instead of by ULOG hardware.
+    """
+
+    task_policy: TaskPolicy
+    merge_policy: MergePolicy
+    software_log: bool = False
+
+    def __post_init__(self) -> None:
+        if self.software_log and self.merge_policy is not MergePolicy.FMM:
+            raise ConfigurationError(
+                "software_log (FMM.Sw) only applies to FMM schemes, "
+                f"not {self.merge_policy}"
+            )
+
+    @property
+    def name(self) -> str:
+        """Short display name, e.g. ``'MultiT&MV Lazy AMM'`` or ``'MultiT&MV FMM.Sw'``."""
+        merge = "FMM.Sw" if self.software_log else str(self.merge_policy)
+        return f"{self.task_policy} {merge}"
+
+    @property
+    def is_shaded(self) -> bool:
+        """True for the taxonomy boxes the paper shades as uninteresting.
+
+        SingleT FMM and MultiT&SV FMM need nearly all the hardware of
+        MultiT&MV FMM (CTID is required even for a single task under FMM)
+        without its benefits (Section 3.3.4).
+        """
+        return self.merge_policy is MergePolicy.FMM and self.task_policy in (
+            TaskPolicy.SINGLE_T,
+            TaskPolicy.MULTI_T_SV,
+        )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# The eight schemes the paper evaluates (the six AMM boxes of Figure 2-(a)
+# plus MultiT&MV FMM and its software-logging variant).
+SINGLE_T_EAGER = Scheme(TaskPolicy.SINGLE_T, MergePolicy.EAGER_AMM)
+SINGLE_T_LAZY = Scheme(TaskPolicy.SINGLE_T, MergePolicy.LAZY_AMM)
+MULTI_T_SV_EAGER = Scheme(TaskPolicy.MULTI_T_SV, MergePolicy.EAGER_AMM)
+MULTI_T_SV_LAZY = Scheme(TaskPolicy.MULTI_T_SV, MergePolicy.LAZY_AMM)
+MULTI_T_MV_EAGER = Scheme(TaskPolicy.MULTI_T_MV, MergePolicy.EAGER_AMM)
+MULTI_T_MV_LAZY = Scheme(TaskPolicy.MULTI_T_MV, MergePolicy.LAZY_AMM)
+MULTI_T_MV_FMM = Scheme(TaskPolicy.MULTI_T_MV, MergePolicy.FMM)
+MULTI_T_MV_FMM_SW = Scheme(TaskPolicy.MULTI_T_MV, MergePolicy.FMM, software_log=True)
+
+#: All schemes evaluated in the paper, in the order of Figure 9 / Figure 10.
+EVALUATED_SCHEMES: tuple[Scheme, ...] = (
+    SINGLE_T_EAGER,
+    SINGLE_T_LAZY,
+    MULTI_T_SV_EAGER,
+    MULTI_T_SV_LAZY,
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_LAZY,
+    MULTI_T_MV_FMM,
+    MULTI_T_MV_FMM_SW,
+)
+
+#: The six AMM schemes of Figures 9 and 11, in bar order (E/L per policy).
+AMM_SCHEMES: tuple[Scheme, ...] = (
+    SINGLE_T_EAGER,
+    SINGLE_T_LAZY,
+    MULTI_T_SV_EAGER,
+    MULTI_T_SV_LAZY,
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_LAZY,
+)
+
+
+def scheme_from_name(name: str) -> Scheme:
+    """Look up an evaluated scheme by its display name (case-insensitive)."""
+    wanted = name.strip().lower()
+    for scheme in EVALUATED_SCHEMES:
+        if scheme.name.lower() == wanted:
+            return scheme
+    known = ", ".join(s.name for s in EVALUATED_SCHEMES)
+    raise ConfigurationError(f"unknown scheme {name!r}; known schemes: {known}")
+
+
+@dataclass(frozen=True)
+class PriorScheme:
+    """A previously-published TLS system and its taxonomy classification.
+
+    Reproduces Figure 4 of the paper. ``notes`` captures where the scheme
+    buffers speculative state or any caveat the paper raises.
+    """
+
+    name: str
+    task_policy: TaskPolicy
+    merge_policy: MergePolicy | None
+    notes: str = ""
+
+    @property
+    def is_coarse_recovery(self) -> bool:
+        return self.merge_policy is None
+
+
+#: Figure 4 — mapping of existing schemes onto the taxonomy.  A ``None``
+#: merge policy marks the coarse-recovery class (LRPD, SUDS, ...), which the
+#: paper treats separately, and DDSM, where Eager/Lazy does not apply.
+PRIOR_SCHEMES: tuple[PriorScheme, ...] = (
+    PriorScheme(
+        "Multiscalar (hierarchical ARB)", TaskPolicy.SINGLE_T, MergePolicy.EAGER_AMM,
+        notes="speculative state in one stage of the global ARB",
+    ),
+    PriorScheme(
+        "Superthreaded", TaskPolicy.SINGLE_T, MergePolicy.EAGER_AMM,
+        notes="speculative state in the Memory Buffer",
+    ),
+    PriorScheme(
+        "MDT", TaskPolicy.SINGLE_T, MergePolicy.EAGER_AMM,
+        notes="speculative state in the L1",
+    ),
+    PriorScheme(
+        "Marcuello99", TaskPolicy.SINGLE_T, MergePolicy.EAGER_AMM,
+        notes="register file plus shared Multi-Value cache",
+    ),
+    PriorScheme(
+        "Multiscalar (SVC)", TaskPolicy.SINGLE_T, MergePolicy.LAZY_AMM,
+        notes="committed versions linger in caches; VOL ordered list",
+    ),
+    PriorScheme(
+        "DDSM", TaskPolicy.SINGLE_T, None,
+        notes="one task per processor per speculative section; "
+        "Eager/Lazy distinction does not apply",
+    ),
+    PriorScheme(
+        "Hydra", TaskPolicy.MULTI_T_MV, MergePolicy.EAGER_AMM,
+        notes="buffers between L1 and L2; evaluation in the paper used as "
+        "many buffers as processors, making it effectively SingleT",
+    ),
+    PriorScheme(
+        "Steffan97&00", TaskPolicy.MULTI_T_MV, MergePolicy.EAGER_AMM,
+        notes="also describes a MultiT&SV design that stalls on a second "
+        "local speculative version",
+    ),
+    PriorScheme(
+        "Steffan97&00 (SV design)", TaskPolicy.MULTI_T_SV, MergePolicy.EAGER_AMM,
+        notes="cache not designed to hold multiple speculative versions",
+    ),
+    PriorScheme(
+        "Cintra00", TaskPolicy.MULTI_T_MV, MergePolicy.EAGER_AMM,
+        notes="speculative state in L1/L2",
+    ),
+    PriorScheme(
+        "Prvulovic01", TaskPolicy.MULTI_T_MV, MergePolicy.LAZY_AMM,
+        notes="committed versions merged on displacement or external request",
+    ),
+    PriorScheme(
+        "Zhang99&T", TaskPolicy.MULTI_T_MV, MergePolicy.FMM,
+        notes="MHB kept in hardware logs",
+    ),
+    PriorScheme(
+        "Garzaran01", TaskPolicy.MULTI_T_MV, MergePolicy.FMM,
+        notes="MHB kept in software log structures",
+    ),
+    PriorScheme(
+        "LRPD", TaskPolicy.SINGLE_T, None,
+        notes="coarse recovery: state reverts to the start of the section",
+    ),
+    PriorScheme(
+        "SUDS", TaskPolicy.SINGLE_T, None,
+        notes="coarse recovery: software copying creates versions",
+    ),
+)
+
+
+class LimitingCharacteristic(enum.Enum):
+    """Application characteristics that limit performance (Figure 8)."""
+
+    LOAD_IMBALANCE = "task load imbalance"
+    LOAD_IMBALANCE_WITH_PRIVATIZATION = (
+        "task load imbalance + mostly-privatization patterns"
+    )
+    COMMIT_WAVEFRONT = "task commit wavefront in critical path"
+    CACHE_OVERFLOW = "cache overflow due to capacity or conflicts"
+    FREQUENT_RECOVERIES = "frequent recoveries from dependence violations"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def limiting_characteristics(scheme: Scheme) -> frozenset[LimitingCharacteristic]:
+    """Application characteristics expected to limit ``scheme`` (Figure 8).
+
+    All AMM schemes suffer under cache overflow; Eager schemes additionally
+    expose the commit wavefront; SingleT adds plain load imbalance and
+    MultiT&SV adds imbalance combined with privatization patterns; FMM
+    suffers under frequent recoveries.
+    """
+    limits: set[LimitingCharacteristic] = set()
+    if scheme.merge_policy.is_architectural:
+        limits.add(LimitingCharacteristic.CACHE_OVERFLOW)
+    if scheme.merge_policy is MergePolicy.EAGER_AMM:
+        limits.add(LimitingCharacteristic.COMMIT_WAVEFRONT)
+    if scheme.merge_policy is MergePolicy.FMM:
+        limits.add(LimitingCharacteristic.FREQUENT_RECOVERIES)
+    if scheme.task_policy is TaskPolicy.SINGLE_T:
+        limits.add(LimitingCharacteristic.LOAD_IMBALANCE)
+        limits.add(LimitingCharacteristic.LOAD_IMBALANCE_WITH_PRIVATIZATION)
+    if scheme.task_policy is TaskPolicy.MULTI_T_SV:
+        limits.add(LimitingCharacteristic.LOAD_IMBALANCE_WITH_PRIVATIZATION)
+    return frozenset(limits)

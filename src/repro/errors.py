@@ -1,0 +1,43 @@
+"""Exception hierarchy for the TLS buffering simulator.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch the library's failures without also swallowing unrelated
+bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, scheme, or workload configuration is inconsistent.
+
+    Raised eagerly at construction time (e.g. a cache whose size is not a
+    multiple of its line size, or a scheme combination the paper marks as
+    shaded/uninteresting being simulated without ``allow_shaded``).
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an internally inconsistent state.
+
+    This always indicates a bug in the simulator (or a hand-built workload
+    violating its declared contract), never a property of the modeled
+    hardware.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload description is malformed (bad ops, empty task list, ...)."""
+
+
+class ProtocolError(SimulationError):
+    """The speculative versioning protocol was driven out of its contract.
+
+    For example: committing tasks out of order, reading a version that was
+    never created, or recovering a task that holds no log entries while the
+    undo log claims otherwise.
+    """

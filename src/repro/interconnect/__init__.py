@@ -1,0 +1,20 @@
+"""Interconnect topologies (2D mesh for CC-NUMA, crossbar for the CMP)."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.interconnect.base import Crossbar, Topology
+from repro.interconnect.mesh import Mesh2D
+
+__all__ = ["Topology", "Crossbar", "Mesh2D", "topology"]
+
+
+@lru_cache(maxsize=None)
+def topology(n_nodes: int, mesh_side: int | None) -> Topology:
+    """The topology for a machine: a mesh when ``mesh_side`` is set, else a
+    crossbar. Cached because :class:`~repro.core.config.MachineConfig`
+    queries it per memory operation."""
+    if mesh_side is None:
+        return Crossbar(n_nodes=n_nodes)
+    return Mesh2D(side=mesh_side, n_nodes=n_nodes)

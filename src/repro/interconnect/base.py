@@ -1,0 +1,70 @@
+"""Interconnect topologies used by the machine models.
+
+The paper's two machines differ in their interconnect: the CC-NUMA connects
+nodes with a 2D mesh (latency grows with protocol hop count), while the CMP
+connects L2s and L3/directory banks through a crossbar (all non-local
+destinations equidistant). The simulator needs only hop distances — the
+per-hop latencies are part of :class:`~repro.core.config.MachineConfig` —
+but the topology classes also expose routes and diameters for the ablation
+benches and tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class Topology(abc.ABC):
+    """Hop-distance model between nodes of the machine."""
+
+    n_nodes: int
+
+    @abc.abstractmethod
+    def hops(self, node_a: int, node_b: int) -> int:
+        """Number of network hops between two nodes (0 when equal)."""
+
+    @property
+    @abc.abstractmethod
+    def diameter(self) -> int:
+        """Maximum hop distance between any two nodes."""
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ConfigurationError(
+                f"node {node} out of range for {self.n_nodes}-node topology"
+            )
+
+    def average_hops(self) -> float:
+        """Mean hop distance over all ordered pairs of distinct nodes."""
+        if self.n_nodes < 2:
+            return 0.0
+        total = sum(
+            self.hops(a, b)
+            for a in range(self.n_nodes)
+            for b in range(self.n_nodes)
+            if a != b
+        )
+        return total / (self.n_nodes * (self.n_nodes - 1))
+
+
+@dataclass(frozen=True)
+class Crossbar(Topology):
+    """All distinct nodes are one hop apart (the CMP's on-chip crossbar)."""
+
+    n_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ConfigurationError("Crossbar needs at least one node")
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        self._check(node_a)
+        self._check(node_b)
+        return 0 if node_a == node_b else 1
+
+    @property
+    def diameter(self) -> int:
+        return 0 if self.n_nodes == 1 else 1

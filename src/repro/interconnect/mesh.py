@@ -1,0 +1,60 @@
+"""2D mesh topology for the CC-NUMA machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.interconnect.base import Topology
+
+
+@dataclass(frozen=True)
+class Mesh2D(Topology):
+    """A ``side`` x ``side`` 2D mesh; hop distance is Manhattan distance.
+
+    Nodes are numbered row-major: node ``i`` sits at
+    ``(i // side, i % side)``. ``n_nodes`` may be less than ``side**2``
+    (a partially-populated mesh), but every node index must still map onto
+    the grid.
+    """
+
+    side: int
+    n_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.side <= 0:
+            raise ConfigurationError(f"mesh side must be positive, got {self.side}")
+        if not 0 < self.n_nodes <= self.side**2:
+            raise ConfigurationError(
+                f"{self.n_nodes} nodes do not fit a {self.side}x{self.side} mesh"
+            )
+
+    def coordinates(self, node: int) -> tuple[int, int]:
+        self._check(node)
+        return divmod(node, self.side)
+
+    def hops(self, node_a: int, node_b: int) -> int:
+        ax, ay = self.coordinates(node_a)
+        bx, by = self.coordinates(node_b)
+        return abs(ax - bx) + abs(ay - by)
+
+    @property
+    def diameter(self) -> int:
+        last = self.n_nodes - 1
+        return max(
+            self.hops(a, b) for a in (0, last) for b in range(self.n_nodes)
+        )
+
+    def route(self, node_a: int, node_b: int) -> list[int]:
+        """X-then-Y dimension-ordered route, inclusive of both endpoints."""
+        ax, ay = self.coordinates(node_a)
+        bx, by = self.coordinates(node_b)
+        path = [node_a]
+        x, y = ax, ay
+        while x != bx:
+            x += 1 if bx > x else -1
+            path.append(x * self.side + y)
+        while y != by:
+            y += 1 if by > y else -1
+            path.append(x * self.side + y)
+        return path

@@ -1,0 +1,24 @@
+"""Memory system substrate: version caches, main memory, overflow, undo log."""
+
+from repro.memsys.address import line_of, word_in_line, words_of_line
+from repro.memsys.cache import ARCH_TASK_ID, CacheLine, CacheStats, VersionCache
+from repro.memsys.mainmem import MainMemory, MemoryStats
+from repro.memsys.overflow import OverflowArea, OverflowStats
+from repro.memsys.undolog import LogEntry, UndoLog, UndoLogStats
+
+__all__ = [
+    "ARCH_TASK_ID",
+    "CacheLine",
+    "CacheStats",
+    "LogEntry",
+    "MainMemory",
+    "MemoryStats",
+    "OverflowArea",
+    "OverflowStats",
+    "UndoLog",
+    "UndoLogStats",
+    "VersionCache",
+    "line_of",
+    "word_in_line",
+    "words_of_line",
+]

@@ -1,0 +1,27 @@
+"""Address arithmetic shared by the memory-system components.
+
+The simulator addresses memory at word granularity (violation detection is
+word-granular, per the paper's base protocol) and buffers state at cache-line
+granularity (a single task-ID tag per line). These helpers convert between
+the two.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import WORDS_PER_LINE
+
+
+def line_of(word_addr: int) -> int:
+    """Cache-line address containing ``word_addr``."""
+    return word_addr // WORDS_PER_LINE
+
+
+def word_in_line(word_addr: int) -> int:
+    """Offset of ``word_addr`` within its line (0..WORDS_PER_LINE-1)."""
+    return word_addr % WORDS_PER_LINE
+
+
+def words_of_line(line_addr: int) -> range:
+    """All word addresses contained in ``line_addr``."""
+    start = line_addr * WORDS_PER_LINE
+    return range(start, start + WORDS_PER_LINE)

@@ -1,0 +1,247 @@
+"""Set-associative version cache with per-line task-ID tags (CTID).
+
+This is the paper's buffering substrate: a cache whose lines are tagged with
+the producer task's ID, so that one cache can hold state from several
+speculative tasks and — under MultiT&MV — several versions of the same line
+(same address tag, different task ID, occupying different ways of the same
+set, as in Cintra00 and Steffan97&00).
+
+The cache is a *timing and capacity* model: which versions exist and which
+one a reader must receive is decided by the global
+:class:`~repro.tls.versions.VersionDirectory`; this class answers whether a
+given version is locally resident, and applies LRU replacement so that
+version pressure on a set produces displacements (the effect that hurts P3m
+under AMM in Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.core.config import CacheGeometry
+from repro.errors import SimulationError
+
+#: Task ID used to tag architectural (committed-to-memory) data fetched into
+#: a cache in its traditional role as an extension of main memory.
+ARCH_TASK_ID = -1
+
+
+@dataclass
+class CacheLine:
+    """One resident line version.
+
+    ``task_id`` is the CTID tag: the producer task of this version, or
+    :data:`ARCH_TASK_ID` for architectural data. ``committed`` is set when
+    the producer commits (Lazy AMM keeps such lines resident and incoherent
+    until merged). ``dirty`` lines carry state that must not be silently
+    dropped unless the scheme says so.
+    """
+
+    line_addr: int
+    task_id: int
+    dirty: bool = False
+    committed: bool = False
+    last_touch: float = 0.0
+
+    @property
+    def speculative(self) -> bool:
+        """True while the line holds uncommitted, non-architectural state."""
+        return self.task_id != ARCH_TASK_ID and not self.committed
+
+
+@dataclass
+class CacheStats:
+    """Aggregate counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    displacements: int = 0
+    speculative_displacements: int = 0
+    committed_dirty_displacements: int = 0
+    peak_resident_lines: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class VersionCache:
+    """A set-associative cache of :class:`CacheLine` versions.
+
+    ``multi_version`` controls whether two versions of the same line address
+    (different task IDs) may be resident simultaneously; MultiT&MV schemes
+    enable it, SingleT/MultiT&SV schemes disable it for *speculative*
+    versions (a committed version and one speculative version may still
+    coexist, as in the Speculative Versioning Cache).
+    """
+
+    def __init__(self, geometry: CacheGeometry, name: str = "cache") -> None:
+        self.geometry = geometry
+        self.name = name
+        self._set_mask = geometry.n_sets - 1
+        self._sets: list[list[CacheLine]] = [[] for _ in range(geometry.n_sets)]
+        self._resident = 0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def set_index(self, line_addr: int) -> int:
+        return line_addr & self._set_mask
+
+    def entries(self, line_addr: int) -> list[CacheLine]:
+        """All resident versions of ``line_addr`` (any task ID)."""
+        return [e for e in self._sets[self.set_index(line_addr)]
+                if e.line_addr == line_addr]
+
+    def find(self, line_addr: int, task_id: int) -> CacheLine | None:
+        """The exact (address, task-ID) version, or ``None``."""
+        for entry in self._sets[self.set_index(line_addr)]:
+            if entry.line_addr == line_addr and entry.task_id == task_id:
+                return entry
+        return None
+
+    def find_speculative(self, line_addr: int) -> list[CacheLine]:
+        """All resident *speculative* versions of ``line_addr``."""
+        return [e for e in self.entries(line_addr) if e.speculative]
+
+    def touch(self, entry: CacheLine, now: float) -> None:
+        """Refresh LRU state after a hit."""
+        entry.last_touch = now
+        self.stats.hits += 1
+
+    def record_miss(self) -> None:
+        self.stats.misses += 1
+
+    # ------------------------------------------------------------------
+    # Insertion / replacement
+    # ------------------------------------------------------------------
+    def insert(self, line: CacheLine, now: float,
+               victim_filter: Callable[[CacheLine], bool] | None = None,
+               ) -> CacheLine | None:
+        """Insert ``line``, returning the displaced victim if the set is full.
+
+        An existing entry with the same (address, task-ID) is overwritten in
+        place (no displacement). The victim is the least-recently-used entry
+        for which ``victim_filter`` (if given) returns True; entries the
+        filter rejects are unevictable (e.g. the line currently being
+        written). If every entry is unevictable a :class:`SimulationError`
+        is raised — associativity must exceed the number of pinned lines.
+        """
+        existing = self.find(line.line_addr, line.task_id)
+        if existing is not None:
+            existing.dirty = existing.dirty or line.dirty
+            # A version, once committed, never reverts to speculative.
+            existing.committed = existing.committed or line.committed
+            existing.last_touch = now
+            return None
+
+        line.last_touch = now
+        cache_set = self._sets[self.set_index(line.line_addr)]
+        victim: CacheLine | None = None
+        if len(cache_set) >= self.geometry.assoc:
+            candidates = [e for e in cache_set
+                          if victim_filter is None or victim_filter(e)]
+            if not candidates:
+                raise SimulationError(
+                    f"{self.name}: no evictable line in set "
+                    f"{self.set_index(line.line_addr)}"
+                )
+            victim = min(candidates, key=lambda e: e.last_touch)
+            cache_set.remove(victim)
+            self._resident -= 1
+            self.stats.displacements += 1
+            if victim.speculative and victim.dirty:
+                self.stats.speculative_displacements += 1
+            if victim.committed and victim.dirty:
+                self.stats.committed_dirty_displacements += 1
+        cache_set.append(line)
+        self._resident += 1
+        self.stats.peak_resident_lines = max(
+            self.stats.peak_resident_lines, self._resident
+        )
+        return victim
+
+    def remove(self, entry: CacheLine) -> None:
+        """Remove a specific resident entry."""
+        cache_set = self._sets[self.set_index(entry.line_addr)]
+        try:
+            cache_set.remove(entry)
+        except ValueError:
+            raise SimulationError(
+                f"{self.name}: removing non-resident line "
+                f"{entry.line_addr:#x} task {entry.task_id}"
+            ) from None
+        self._resident -= 1
+
+    # ------------------------------------------------------------------
+    # Bulk operations used by commit / squash / merge
+    # ------------------------------------------------------------------
+    def invalidate_task(self, task_id: int) -> int:
+        """Drop every line owned by ``task_id`` (AMM squash recovery).
+
+        Returns the number of lines invalidated.
+        """
+        dropped = 0
+        for cache_set in self._sets:
+            keep = [e for e in cache_set if e.task_id != task_id]
+            dropped += len(cache_set) - len(keep)
+            cache_set[:] = keep
+        self._resident -= dropped
+        return dropped
+
+    def mark_committed(self, task_id: int) -> list[CacheLine]:
+        """Flip all lines of ``task_id`` to committed (Lazy AMM commit).
+
+        Returns the lines affected so the caller can account for them.
+        """
+        marked = []
+        for cache_set in self._sets:
+            for entry in cache_set:
+                if entry.task_id == task_id and not entry.committed:
+                    entry.committed = True
+                    marked.append(entry)
+        return marked
+
+    def drain_task(self, task_id: int, *, clean: bool) -> list[CacheLine]:
+        """Collect all dirty lines of ``task_id`` (Eager AMM commit merge).
+
+        With ``clean=True`` the lines stay resident but become clean
+        architectural data (they were just written back to memory); with
+        ``clean=False`` they are removed.
+        """
+        drained = []
+        for cache_set in self._sets:
+            for entry in list(cache_set):
+                if entry.task_id == task_id and entry.dirty:
+                    drained.append(entry)
+                    if clean:
+                        entry.dirty = False
+                        entry.committed = True
+                    else:
+                        cache_set.remove(entry)
+                        self._resident -= 1
+        return drained
+
+    def committed_dirty(self) -> list[CacheLine]:
+        """All committed-but-unmerged dirty lines (Lazy AMM final merge)."""
+        return [e for s in self._sets for e in s if e.committed and e.dirty]
+
+    def lines_of_task(self, task_id: int) -> list[CacheLine]:
+        return [e for s in self._sets for e in s if e.task_id == task_id]
+
+    def __iter__(self) -> Iterator[CacheLine]:
+        for cache_set in self._sets:
+            yield from cache_set
+
+    def __len__(self) -> int:
+        return self._resident
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"VersionCache({self.name}, {self.geometry.size_bytes}B "
+                f"{self.geometry.assoc}-way, resident={self._resident})")

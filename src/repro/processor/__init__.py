@@ -1,0 +1,10 @@
+"""Simplified processor model with cycle-category accounting."""
+
+from repro.processor.processor import (
+    CycleAccount,
+    CycleCategory,
+    Processor,
+    STALL_CATEGORIES,
+)
+
+__all__ = ["CycleAccount", "CycleCategory", "Processor", "STALL_CATEGORIES"]

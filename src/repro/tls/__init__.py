@@ -1,0 +1,28 @@
+"""Thread-level speculation protocol: tasks, versions, commits, scheduling."""
+
+from repro.tls.commit import CommitController, CommitStats
+from repro.tls.scheduler import TaskScheduler
+from repro.tls.task import (
+    OP_COMPUTE,
+    OP_READ,
+    OP_WRITE,
+    Operation,
+    TaskRun,
+    TaskSpec,
+    TaskState,
+)
+from repro.tls.versions import VersionDirectory
+
+__all__ = [
+    "CommitController",
+    "CommitStats",
+    "OP_COMPUTE",
+    "OP_READ",
+    "OP_WRITE",
+    "Operation",
+    "TaskRun",
+    "TaskScheduler",
+    "TaskSpec",
+    "TaskState",
+    "VersionDirectory",
+]

@@ -1,0 +1,64 @@
+"""Commit token and commit-wavefront tracking.
+
+Tasks commit in strict sequential order by passing a commit token. The
+controller tracks which task must commit next, whether a commit (token hold)
+is in flight, and the cumulative token-hold time — the *commit wavefront*
+whose position relative to the execution wavefront explains the Eager/Lazy
+differences (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+
+
+@dataclass
+class CommitStats:
+    commits: int = 0
+    #: Total cycles the token was held (sum of commit durations).
+    token_hold_cycles: float = 0.0
+    #: (task_id, start, end) per commit, for wavefront plots (Figure 6).
+    wavefront: list[tuple[int, float, float]] = field(default_factory=list)
+
+
+class CommitController:
+    """Serializes commits in task-ID order."""
+
+    def __init__(self, n_tasks: int) -> None:
+        self.n_tasks = n_tasks
+        self.next_to_commit = 0
+        self._in_flight: int | None = None
+        self.stats = CommitStats()
+
+    @property
+    def token_free(self) -> bool:
+        return self._in_flight is None
+
+    def can_commit(self, task_id: int) -> bool:
+        return self.token_free and task_id == self.next_to_commit
+
+    def begin_commit(self, task_id: int, now: float) -> None:
+        if not self.can_commit(task_id):
+            raise ProtocolError(
+                f"task {task_id} cannot commit now (next={self.next_to_commit}, "
+                f"in_flight={self._in_flight})"
+            )
+        self._in_flight = task_id
+
+    def finish_commit(self, task_id: int, start: float, end: float) -> None:
+        if self._in_flight != task_id:
+            raise ProtocolError(
+                f"finishing commit of task {task_id} but "
+                f"{self._in_flight} is in flight"
+            )
+        self._in_flight = None
+        self.next_to_commit += 1
+        self.stats.commits += 1
+        self.stats.token_hold_cycles += end - start
+        self.stats.wavefront.append((task_id, start, end))
+
+    @property
+    def all_committed(self) -> bool:
+        return self.next_to_commit >= self.n_tasks

@@ -1,0 +1,51 @@
+"""Dynamic, in-order task scheduler.
+
+Tasks (chunks of consecutive iterations) are claimed greedily by free
+processors in task-ID order — the paper's dynamic scheduling of chunks.
+Squashed tasks return to the pool and, having the lowest IDs among pending
+work, are re-claimed first, which preserves forward progress of the commit
+wavefront.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import SimulationError
+from repro.tls.task import TaskRun
+
+
+class TaskScheduler:
+    """A priority pool of pending tasks, claimed lowest-ID first."""
+
+    def __init__(self, runs: dict[int, TaskRun]) -> None:
+        self._runs = runs
+        self._pending: list[int] = sorted(runs)
+        heapq.heapify(self._pending)
+        self._claimed: set[int] = set()
+
+    def claim(self) -> TaskRun | None:
+        """Pop the lowest-ID pending task, or ``None`` if the pool is empty."""
+        while self._pending:
+            task_id = heapq.heappop(self._pending)
+            if task_id in self._claimed:
+                continue
+            self._claimed.add(task_id)
+            return self._runs[task_id]
+        return None
+
+    def release(self, task_id: int) -> None:
+        """Return a squashed task to the pool for re-execution."""
+        if task_id not in self._claimed:
+            raise SimulationError(
+                f"releasing task {task_id} that was never claimed"
+            )
+        self._claimed.remove(task_id)
+        heapq.heappush(self._pending, task_id)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def has_pending(self) -> bool:
+        return bool(self._pending)

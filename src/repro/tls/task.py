@@ -1,0 +1,146 @@
+"""Speculative tasks: static specifications and dynamic execution state.
+
+A *task* is a chunk of consecutive loop iterations (Section 4.2). Its static
+side (:class:`TaskSpec`) is an ordered list of operations — compute segments
+measured in instructions, plus word-granularity reads and writes. Its
+dynamic side (:class:`TaskRun`) tracks one (re-)execution attempt: progress
+through the operation list, the words written so far, and lifecycle state.
+
+Task IDs are the sequential order of the chunks; they are assigned once and
+never change across squashes, which is what makes the ID usable as the CTID
+version tag throughout the memory system.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.memsys.address import line_of
+
+#: Operation kinds. Kept as plain ints because the engine dispatches on them
+#: in its hottest loop.
+OP_COMPUTE = 0
+OP_READ = 1
+OP_WRITE = 2
+
+#: One operation: ``(kind, value)``; value is an instruction count for
+#: OP_COMPUTE and a word address for OP_READ / OP_WRITE.
+Operation = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Static description of one speculative task."""
+
+    task_id: int
+    ops: tuple[Operation, ...]
+
+    def __post_init__(self) -> None:
+        if self.task_id < 0:
+            raise WorkloadError(f"task_id must be >= 0, got {self.task_id}")
+        for kind, value in self.ops:
+            if kind not in (OP_COMPUTE, OP_READ, OP_WRITE):
+                raise WorkloadError(f"unknown op kind {kind}")
+            if value < 0:
+                raise WorkloadError(f"negative op value {value}")
+
+    @property
+    def instructions(self) -> int:
+        """Total compute instructions in the task."""
+        return sum(v for k, v in self.ops if k == OP_COMPUTE)
+
+    @property
+    def memory_ops(self) -> int:
+        return sum(1 for k, _v in self.ops if k != OP_COMPUTE)
+
+    def written_words(self) -> set[int]:
+        return {v for k, v in self.ops if k == OP_WRITE}
+
+    def read_words(self) -> set[int]:
+        return {v for k, v in self.ops if k == OP_READ}
+
+    def written_lines(self) -> set[int]:
+        return {line_of(w) for w in self.written_words()}
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of one task (not one attempt)."""
+
+    PENDING = "pending"        # in the scheduler queue, not claimed
+    RUNNING = "running"        # executing on a processor
+    SV_STALLED = "sv-stalled"  # blocked creating a second local version
+    DONE = "done"              # finished executing, still speculative
+    COMMITTED = "committed"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class TaskRun:
+    """Dynamic state of a task across its execution attempts."""
+
+    spec: TaskSpec
+    state: TaskState = TaskState.PENDING
+    proc_id: int | None = None
+    #: Incremented on every (re)start; stale in-flight events compare this.
+    attempt: int = 0
+    op_index: int = 0
+    #: Words this attempt has written so far, grouped by line (used to build
+    #: write-back payloads and undo-log entries).
+    words_by_line: dict[int, set[int]] = field(default_factory=dict)
+    #: Words this attempt has read from other tasks / architectural state
+    #: (directory reader records to drop on squash or commit).
+    read_words: set[int] = field(default_factory=set)
+    #: word -> producer observed at this attempt's *first* read of the word
+    #: (used by the sequential-semantics invariant checks).
+    observed_reads: dict[int, int] = field(default_factory=dict)
+    start_time: float = 0.0
+    finish_time: float = 0.0
+    commit_start: float = 0.0
+    commit_time: float = 0.0
+    squashes: int = 0
+    #: Busy cycles executed by the current attempt (for wasted-work stats).
+    attempt_busy: float = 0.0
+
+    @property
+    def task_id(self) -> int:
+        return self.spec.task_id
+
+    def begin_attempt(self, proc_id: int, now: float) -> None:
+        self.state = TaskState.RUNNING
+        self.proc_id = proc_id
+        self.attempt += 1
+        self.op_index = 0
+        self.words_by_line = {}
+        self.read_words = set()
+        self.observed_reads = {}
+        self.start_time = now
+        self.attempt_busy = 0.0
+
+    def record_write(self, word_addr: int) -> None:
+        self.words_by_line.setdefault(line_of(word_addr), set()).add(word_addr)
+
+    def squash(self) -> None:
+        self.state = TaskState.PENDING
+        self.proc_id = None
+        self.squashes += 1
+        self.op_index = 0
+        self.words_by_line = {}
+        self.read_words = set()
+        self.observed_reads = {}
+
+    @property
+    def execution_cycles(self) -> float:
+        """Wall-clock duration of the (successful) execution."""
+        return max(0.0, self.finish_time - self.start_time)
+
+    @property
+    def commit_cycles(self) -> float:
+        return max(0.0, self.commit_time - self.commit_start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TaskRun(id={self.task_id}, state={self.state}, "
+                f"proc={self.proc_id}, attempt={self.attempt})")

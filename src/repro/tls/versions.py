@@ -1,0 +1,221 @@
+"""Global multi-version directory and violation detection.
+
+The directory is the logical heart of the speculative parallelization
+protocol: for every word it maintains the ordered set of versions (by
+producer task ID) and the set of speculative readers together with the
+version each one consumed. The engine charges realistic latencies for
+finding and moving data; this structure answers *which* version a reader
+must receive and *who* must be squashed when a write arrives out of order.
+
+Violation rule (matching the paper's base protocol, from Prvulovic01):
+squashes are triggered only by an out-of-order RAW on the same word — a
+write by task T squashes reader U > T if U consumed a version older than T.
+Word granularity means false sharing within a line never squashes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.memsys.cache import ARCH_TASK_ID
+
+
+@dataclass
+class _WordState:
+    """Versions and speculative readers of one word."""
+
+    #: Sorted producer task IDs that currently have a version of this word.
+    producers: list[int] = field(default_factory=list)
+    #: reader task ID -> oldest producer ID that reader consumed.
+    readers: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class DirectoryStats:
+    reads: int = 0
+    writes: int = 0
+    violations: int = 0
+    forwarded_reads: int = 0
+
+
+class VersionDirectory:
+    """System-wide word-granularity version order and reader tracking."""
+
+    def __init__(self) -> None:
+        self._words: dict[int, _WordState] = {}
+        self.stats = DirectoryStats()
+
+    def _state(self, word_addr: int) -> _WordState:
+        state = self._words.get(word_addr)
+        if state is None:
+            state = _WordState()
+            self._words[word_addr] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def version_for_read(self, word_addr: int, reader: int) -> int:
+        """Producer whose version ``reader`` must consume for ``word_addr``.
+
+        The latest version with producer ID <= ``reader``; reading your own
+        version is allowed (a task has at most one version of a word).
+        Returns :data:`ARCH_TASK_ID` if no speculative version precedes the
+        reader.
+        """
+        state = self._words.get(word_addr)
+        if state is None or not state.producers:
+            return ARCH_TASK_ID
+        idx = bisect_right(state.producers, reader)
+        if idx == 0:
+            return ARCH_TASK_ID
+        return state.producers[idx - 1]
+
+    def record_read(self, word_addr: int, reader: int, version_seen: int) -> None:
+        """Note that ``reader`` consumed ``version_seen`` of ``word_addr``.
+
+        Only reads of *other* tasks' state (or architectural state) are
+        recorded: a task reading its own version can never be violated by a
+        predecessor write newer than that version's own task.
+        """
+        self.stats.reads += 1
+        if version_seen == reader:
+            return
+        if version_seen != ARCH_TASK_ID:
+            self.stats.forwarded_reads += 1
+        state = self._state(word_addr)
+        previous = state.readers.get(reader)
+        if previous is None or version_seen < previous:
+            state.readers[reader] = version_seen
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def record_write(self, word_addr: int, producer: int) -> list[int]:
+        """Insert ``producer``'s version; return violated readers.
+
+        A reader U is violated when U > producer and U consumed a version
+        older than ``producer`` (out-of-order RAW). The caller squashes the
+        earliest violated reader and its successors.
+        """
+        self.stats.writes += 1
+        state = self._state(word_addr)
+        idx = bisect_right(state.producers, producer)
+        if idx == 0 or state.producers[idx - 1] != producer:
+            insort(state.producers, producer)
+        violated = self.violated_readers(word_addr, producer)
+        if violated:
+            self.stats.violations += 1
+        return violated
+
+    def violated_readers(self, word_addr: int, producer: int) -> list[int]:
+        """Readers of ``word_addr`` that a write by ``producer`` violates.
+
+        Read-only check (no version inserted); the line-granularity
+        detection mode uses it to find false-sharing victims on the other
+        words of the written line.
+        """
+        state = self._words.get(word_addr)
+        if state is None or not state.readers:
+            return []
+        return sorted(
+            reader
+            for reader, seen in state.readers.items()
+            if reader > producer and seen < producer
+        )
+
+    # ------------------------------------------------------------------
+    # Squash / commit bookkeeping
+    # ------------------------------------------------------------------
+    def purge_task(self, task_id: int, written: set[int],
+                   read: set[int]) -> None:
+        """Remove a squashed task's versions and read records.
+
+        ``written`` / ``read`` are the word sets the squashed attempt
+        touched (the engine tracks them per attempt), so the purge is
+        targeted rather than a full directory sweep.
+        """
+        for word in written:
+            state = self._words.get(word)
+            if state is not None and state.producers:
+                idx = bisect_right(state.producers, task_id)
+                if idx and state.producers[idx - 1] == task_id:
+                    state.producers.pop(idx - 1)
+        for word in read:
+            state = self._words.get(word)
+            if state is not None:
+                state.readers.pop(task_id, None)
+
+    def purge_tasks(self, task_ids: set[int]) -> None:
+        """Full-sweep removal of versions and reads of ``task_ids``.
+
+        Slower than :meth:`purge_task`; kept for hand-driven protocol tests
+        that do not track per-attempt word sets.
+        """
+        for state in self._words.values():
+            if state.producers:
+                state.producers = [p for p in state.producers
+                                   if p not in task_ids]
+            if state.readers:
+                for tid in task_ids.intersection(state.readers):
+                    del state.readers[tid]
+
+    def forget_reader(self, task_id: int, read: set[int] | None = None) -> None:
+        """Drop reader records of a committed task (it can't be violated)."""
+        if read is not None:
+            for word in read:
+                state = self._words.get(word)
+                if state is not None:
+                    state.readers.pop(task_id, None)
+            return
+        for state in self._words.values():
+            state.readers.pop(task_id, None)
+
+    # ------------------------------------------------------------------
+    # Introspection (used by write-back payload building and invariants)
+    # ------------------------------------------------------------------
+    def producers_of(self, word_addr: int) -> list[int]:
+        state = self._words.get(word_addr)
+        return list(state.producers) if state else []
+
+    def latest_version_at_most(self, word_addr: int, bound: int) -> int:
+        """Latest producer <= ``bound`` for ``word_addr`` (ARCH if none)."""
+        state = self._words.get(word_addr)
+        if state is None or not state.producers:
+            return ARCH_TASK_ID
+        idx = bisect_right(state.producers, bound)
+        return state.producers[idx - 1] if idx else ARCH_TASK_ID
+
+    def latest_version_below(self, word_addr: int, bound: int) -> int:
+        """Latest producer strictly < ``bound`` (ARCH if none).
+
+        Used by the line-granularity detection mode: a task re-reading its
+        own word still exposes the rest of its line copy, whose other words
+        date from before the task's own version.
+        """
+        return self.latest_version_at_most(word_addr, bound - 1)
+
+    def has_version(self, word_addr: int, producer: int) -> bool:
+        state = self._words.get(word_addr)
+        if state is None:
+            return False
+        idx = bisect_right(state.producers, producer)
+        return idx > 0 and state.producers[idx - 1] == producer
+
+    def final_image(self) -> dict[int, int]:
+        """word -> last producer, assuming every remaining task committed.
+
+        Used by the correctness invariant: after a full run this must equal
+        both the sequential last-writer image and (for merged words) the
+        main-memory image.
+        """
+        return {
+            word: state.producers[-1]
+            for word, state in self._words.items()
+            if state.producers
+        }
+
+    def words_written(self) -> set[int]:
+        return {w for w, s in self._words.items() if s.producers}

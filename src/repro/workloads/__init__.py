@@ -1,0 +1,19 @@
+"""Synthetic workloads modeling the paper's seven applications."""
+
+from repro.workloads.apps import (
+    APPLICATION_ORDER,
+    APPLICATIONS,
+    ApplicationProfile,
+    PaperCharacteristics,
+    generate_workload,
+)
+from repro.workloads.base import Workload
+
+__all__ = [
+    "APPLICATIONS",
+    "APPLICATION_ORDER",
+    "ApplicationProfile",
+    "PaperCharacteristics",
+    "Workload",
+    "generate_workload",
+]

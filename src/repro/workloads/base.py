@@ -1,0 +1,161 @@
+"""Workload model: a speculatively-parallelized loop as a list of tasks.
+
+A :class:`Workload` is what the engine executes: an ordered tuple of
+:class:`~repro.tls.task.TaskSpec` (chunks of consecutive iterations) plus the
+address-space annotations the statistics collector needs — most importantly
+which lines belong to the *mostly-privatization* region, since the paper's
+Figure 1 reports the privatized share of each task's written footprint.
+
+The synthetic generators in :mod:`repro.workloads.apps` build workloads whose
+measured characteristics (Table 3 / Figure 1) match the paper's seven
+applications; hand-built workloads (tests, examples) can construct
+:class:`Workload` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.memsys.address import line_of
+from repro.tls.task import OP_READ, OP_WRITE, TaskSpec
+
+#: Word-address region boundaries shared by all generated workloads.
+#: Regions are wide enough that they never collide for any profile.
+SHARED_RO_BASE = 0x0000_0000
+PRIV_BASE = 0x0100_0000
+OUTPUT_BASE = 0x0200_0000
+DEP_BASE = 0x0300_0000
+REGION_SIZE = 0x0100_0000
+
+
+def region_of(word_addr: int) -> str:
+    """Symbolic region of a generated address (for stats and debugging)."""
+    if word_addr < PRIV_BASE:
+        return "shared-ro"
+    if word_addr < OUTPUT_BASE:
+        return "priv"
+    if word_addr < DEP_BASE:
+        return "output"
+    return "dep"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An ordered set of speculative tasks plus address annotations."""
+
+    name: str
+    tasks: tuple[TaskSpec, ...]
+    #: Word addresses considered "mostly-privatization" state for the
+    #: Figure 1 footprint split. Generated workloads use the PRIV region.
+    priv_predicate_base: int = PRIV_BASE
+    priv_predicate_limit: int = OUTPUT_BASE
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise WorkloadError(f"workload {self.name!r} has no tasks")
+        for position, task in enumerate(self.tasks):
+            if task.task_id != position:
+                raise WorkloadError(
+                    f"workload {self.name!r}: task at position {position} "
+                    f"has id {task.task_id}; ids must be dense and ordered"
+                )
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    def is_priv(self, word_addr: int) -> bool:
+        return self.priv_predicate_base <= word_addr < self.priv_predicate_limit
+
+    # ------------------------------------------------------------------
+    # Reference semantics (oracle used by tests and baselines)
+    # ------------------------------------------------------------------
+    def sequential_image(self) -> dict[int, int]:
+        """word -> last-writer task ID under sequential execution.
+
+        Because task IDs encode sequential order and each task's writes are
+        internally unordered at word granularity (a task writes a word at
+        most... possibly several times, the writer stays the task), the
+        sequential image is simply the highest task ID writing each word.
+        """
+        image: dict[int, int] = {}
+        for task in self.tasks:
+            for kind, value in task.ops:
+                if kind == OP_WRITE:
+                    image[value] = task.task_id
+        return image
+
+    def sequential_reads(self) -> dict[tuple[int, int], int]:
+        """(reader, word) -> producer the read must observe sequentially.
+
+        The producer is the latest task <= reader writing the word before
+        the read in program order (the reader itself if it wrote first).
+        Used by the correctness property tests.
+        """
+        last_writer: dict[int, int] = {}
+        expected: dict[tuple[int, int], int] = {}
+        for task in self.tasks:
+            for kind, value in task.ops:
+                if kind == OP_READ:
+                    key = (task.task_id, value)
+                    if key not in expected:
+                        expected[key] = last_writer.get(value, -1)
+                elif kind == OP_WRITE:
+                    last_writer[value] = task.task_id
+        return expected
+
+    # ------------------------------------------------------------------
+    # Static characteristics
+    # ------------------------------------------------------------------
+    def written_footprint_words(self) -> float:
+        """Mean written words per task."""
+        return sum(len(t.written_words()) for t in self.tasks) / self.n_tasks
+
+    def written_footprint_lines(self) -> float:
+        """Mean written lines per task (the commit-cost driver)."""
+        return sum(len(t.written_lines()) for t in self.tasks) / self.n_tasks
+
+    def priv_write_fraction(self) -> float:
+        """Fraction of written words falling in the privatization region."""
+        total = 0
+        priv = 0
+        for task in self.tasks:
+            for word in task.written_words():
+                total += 1
+                if self.is_priv(word):
+                    priv += 1
+        return priv / total if total else 0.0
+
+    def mean_instructions(self) -> float:
+        return sum(t.instructions for t in self.tasks) / self.n_tasks
+
+    def imbalance_cv(self) -> float:
+        """Coefficient of variation of per-task instruction counts."""
+        counts = [t.instructions for t in self.tasks]
+        mean = sum(counts) / len(counts)
+        if mean == 0:
+            return 0.0
+        var = sum((c - mean) ** 2 for c in counts) / len(counts)
+        return var**0.5 / mean
+
+    def validate_read_your_writes(self) -> None:
+        """Sanity check used by generators: privatization reads follow writes.
+
+        Raises :class:`WorkloadError` if a task reads a PRIV word it has not
+        written earlier in its own op stream (the Apsi ``work`` pattern
+        writes before reading; violating it would inject unintended
+        cross-task dependences).
+        """
+        for task in self.tasks:
+            written: set[int] = set()
+            for kind, value in task.ops:
+                if kind == OP_WRITE:
+                    written.add(value)
+                elif kind == OP_READ and self.is_priv(value):
+                    if value not in written:
+                        raise WorkloadError(
+                            f"workload {self.name!r}: task {task.task_id} "
+                            f"reads priv word {value:#x} before writing it"
+                        )

@@ -1,0 +1,118 @@
+"""Access-pattern building blocks for the synthetic workload generators.
+
+The paper attributes every performance effect to a handful of memory access
+patterns; this module provides a composable builder for each:
+
+* **mostly-privatization** — every task writes (then reads) the *same*
+  addresses, the ``work(k)`` pattern of Figure 1-(b), creating a new version
+  of the same variable per task;
+* **private output** — per-task distinct written lines (``a(i)`` style);
+* **shared read-only** — input data read by all tasks, optionally
+  *set-aliased* so the reads contend for the same cache sets that hold the
+  privatization versions (the P3m buffer-pressure mechanism);
+* **cross-task dependences** — a producer task writing a word late and a
+  consumer reading it early, which manifests as an out-of-order RAW and a
+  squash when the two run concurrently.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.config import WORDS_PER_LINE
+from repro.errors import WorkloadError
+from repro.tls.task import OP_COMPUTE, OP_READ, OP_WRITE, Operation
+from repro.workloads.base import DEP_BASE, OUTPUT_BASE, PRIV_BASE, SHARED_RO_BASE
+
+#: Cache-set aliasing stride, in lines. 2048 lines is a multiple of the set
+#: count of every standard cache geometry in :mod:`repro.core.config`
+#: (L1: 256 sets, CMP L2: 1024, NUMA L2: 2048) but *not* of the enlarged
+#: Lazy.L2 (16384 sets), so aliased streams contend on the standard caches
+#: and spread out on the enlarged one — exactly the Figure 10 Lazy.L2
+#: behaviour.
+ALIAS_STRIDE_LINES = 2048
+
+
+def priv_word(line_index: int, word: int) -> int:
+    """Word address of the privatization region's ``line_index`` line."""
+    return PRIV_BASE + line_index * WORDS_PER_LINE + word
+
+
+def output_word(task_id: int, line_index: int, stride_lines: int,
+                word: int = 0) -> int:
+    """Word address in task ``task_id``'s private output block."""
+    base = OUTPUT_BASE + task_id * stride_lines * WORDS_PER_LINE
+    return base + line_index * WORDS_PER_LINE + word
+
+
+def dep_word(pair_index: int) -> int:
+    """Word address used by cross-task dependence pair ``pair_index``."""
+    return DEP_BASE + pair_index * WORDS_PER_LINE
+
+
+def shared_word(rng: random.Random, working_set_lines: int) -> int:
+    """A read-only shared word outside the privatization-aliased sets.
+
+    Lines are offset so their set index stays clear of the low sets used by
+    the privatization region, keeping the two patterns independent unless
+    aliasing is explicitly requested.
+    """
+    line = 256 + rng.randrange(working_set_lines)
+    return SHARED_RO_BASE + line * WORDS_PER_LINE
+
+
+def aliased_shared_word(rng: random.Random, n_alias_groups: int,
+                        set_span: int) -> int:
+    """A read-only shared word that aliases the privatization cache sets.
+
+    The returned line is ``group * ALIAS_STRIDE_LINES + offset`` with
+    ``offset < set_span``, so on any cache whose set count divides
+    :data:`ALIAS_STRIDE_LINES` it maps into the same sets as privatization
+    lines ``0..set_span-1``.
+    """
+    group = 1 + rng.randrange(n_alias_groups)
+    offset = rng.randrange(set_span)
+    line = group * ALIAS_STRIDE_LINES + offset
+    return SHARED_RO_BASE + line * WORDS_PER_LINE
+
+
+@dataclass
+class OpListBuilder:
+    """Accumulates a task's operation list, spreading compute between ops.
+
+    The builder collects memory operations into ordered *slots*; `build`
+    then interleaves the task's compute instructions around them according
+    to each slot's position fraction, producing the final tuple of
+    operations with the instruction budget exactly honoured.
+    """
+
+    instructions: int
+    _slots: list[tuple[float, int, int]] = field(default_factory=list)
+
+    def add(self, position: float, kind: int, word: int) -> None:
+        """Queue a memory op at ``position`` (0..1) through the task."""
+        if not 0.0 <= position <= 1.0:
+            raise WorkloadError(f"op position {position} outside [0, 1]")
+        if kind not in (OP_READ, OP_WRITE):
+            raise WorkloadError(f"op kind {kind} is not a memory op")
+        self._slots.append((position, kind, word))
+
+    def build(self) -> tuple[Operation, ...]:
+        """Produce the op tuple; compute is split across slot gaps."""
+        # Stable sort keeps the insertion order of equal positions, which
+        # generators rely on for write-before-read within a phase.
+        slots = sorted(self._slots, key=lambda s: s[0])
+        ops: list[Operation] = []
+        spent = 0
+        previous = 0.0
+        for position, kind, word in slots:
+            target = int(self.instructions * position)
+            if target > spent:
+                ops.append((OP_COMPUTE, target - spent))
+                spent = target
+            ops.append((kind, word))
+            previous = position
+        if self.instructions > spent:
+            ops.append((OP_COMPUTE, self.instructions - spent))
+        return tuple(ops)

@@ -1,0 +1,78 @@
+"""Shared fixtures and workload-building helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    CacheGeometry,
+    CostModel,
+    MachineConfig,
+    NUMA_16,
+    scaled_machine,
+)
+from repro.tls.task import OP_COMPUTE, OP_READ, OP_WRITE, TaskSpec
+from repro.workloads.base import Workload
+
+#: Word addresses that never collide with generated-region bases.
+WORD_A = 0x10
+WORD_B = 0x20
+WORD_C = 0x400
+
+
+def make_task(task_id: int, *ops: tuple[int, int]) -> TaskSpec:
+    """Build a TaskSpec from raw (kind, value) pairs."""
+    return TaskSpec(task_id=task_id, ops=tuple(ops))
+
+
+def compute(instr: int) -> tuple[int, int]:
+    return (OP_COMPUTE, instr)
+
+
+def read(word: int) -> tuple[int, int]:
+    return (OP_READ, word)
+
+
+def write(word: int) -> tuple[int, int]:
+    return (OP_WRITE, word)
+
+
+def make_workload(name: str, *tasks: TaskSpec) -> Workload:
+    return Workload(name=name, tasks=tuple(tasks))
+
+
+@pytest.fixture
+def tiny_machine() -> MachineConfig:
+    """A 2-processor NUMA-style machine for micro-scenarios."""
+    return scaled_machine(NUMA_16, 2)
+
+
+@pytest.fixture
+def quad_machine() -> MachineConfig:
+    """A 4-processor NUMA-style machine."""
+    return scaled_machine(NUMA_16, 4)
+
+
+@pytest.fixture
+def small_cache() -> CacheGeometry:
+    """4 sets x 2 ways (512 B): tiny enough to force displacements."""
+    return CacheGeometry(size_bytes=512, assoc=2)
+
+
+@pytest.fixture
+def fast_costs() -> CostModel:
+    """Cost model with small constants for readable hand-timed tests."""
+    return CostModel(
+        ipc=1.0,
+        commit_writeback_per_line=10,
+        token_pass=5,
+        final_merge_per_line=2,
+        overflow_penalty=4,
+        vcl_combine=3,
+        crl_select=1,
+        ulog_insert=1,
+        swlog_instructions=8,
+        fmm_recovery_instructions_per_entry=20,
+        amm_invalidate_per_line=1.0,
+        squash_fixed=10,
+    )

@@ -1,0 +1,94 @@
+"""Tests for the sequential and coarse-recovery baselines."""
+
+import pytest
+
+from repro.baselines.coarse import simulate_coarse_recovery
+from repro.baselines.sequential import simulate_sequential
+from repro.core.config import CMP_8, NUMA_16, scaled_machine
+from repro.core.engine import simulate
+from repro.core.taxonomy import MULTI_T_MV_EAGER
+from repro.workloads.apps import generate_workload
+from repro.workloads.base import DEP_BASE
+from tests.conftest import WORD_A, compute, make_task, make_workload, read, write
+
+
+class TestSequentialBaseline:
+    def test_compute_only(self):
+        workload = make_workload("c", make_task(0, compute(1000)))
+        result = simulate_sequential(NUMA_16, workload)
+        assert result.total_cycles == pytest.approx(500)
+        assert result.memory_cycles == 0
+
+    def test_memory_all_local(self):
+        """First touch pays local memory; re-access hits the caches."""
+        workload = make_workload(
+            "m", make_task(0, read(WORD_A), read(WORD_A)))
+        result = simulate_sequential(NUMA_16, workload)
+        assert result.memory_cycles == pytest.approx(75 + 2)
+
+    def test_cmp_first_touch_then_l3(self):
+        workload = make_workload(
+            "m", make_task(0, read(WORD_A)), make_task(1, read(WORD_A)))
+        result = simulate_sequential(CMP_8, workload)
+        # Both reads from the same "processor": second hits L1.
+        assert result.memory_cycles == pytest.approx(102 + 2)
+
+    def test_image_is_sequential(self):
+        workload = make_workload(
+            "w",
+            make_task(0, write(WORD_A)),
+            make_task(1, write(WORD_A), write(WORD_A + 1)),
+        )
+        result = simulate_sequential(NUMA_16, workload)
+        assert result.memory_image == workload.sequential_image()
+
+    def test_speedup_denominator_sane(self):
+        """Parallel execution of a parallel-friendly app beats sequential."""
+        workload = generate_workload("Tree", scale=0.15)
+        seq = simulate_sequential(NUMA_16, workload)
+        par = simulate(NUMA_16, MULTI_T_MV_EAGER, workload)
+        speedup = par.speedup_over(seq.total_cycles)
+        assert 1.0 < speedup <= NUMA_16.n_procs
+
+    def test_memory_fraction(self):
+        workload = make_workload("m", make_task(0, compute(100), read(5)))
+        result = simulate_sequential(NUMA_16, workload)
+        assert 0 < result.memory_fraction < 1
+
+
+class TestCoarseRecovery:
+    def test_success_pays_copy_out(self, quad_machine):
+        workload = make_workload(
+            "ok", *[make_task(i, compute(2000), write(WORD_A + 16 * (i + 1)))
+                    for i in range(4)])
+        result = simulate_coarse_recovery(quad_machine, workload)
+        assert result.succeeded
+        assert result.copy_out_cycles > 0
+        assert result.sequential_fallback_cycles == 0
+        assert result.total_cycles == pytest.approx(
+            result.attempt_cycles + result.copy_out_cycles)
+
+    def test_violation_falls_back_to_sequential(self, tiny_machine):
+        workload = make_workload(
+            "bad",
+            make_task(0, compute(40_000), write(DEP_BASE)),
+            make_task(1, compute(100), read(DEP_BASE), compute(10_000)),
+        )
+        result = simulate_coarse_recovery(tiny_machine, workload)
+        assert result.violated
+        assert result.sequential_fallback_cycles > 0
+        assert result.total_cycles > result.attempt_cycles
+
+    def test_fine_grained_beats_coarse_under_violations(self, tiny_machine):
+        """The taxonomy's point: fine-grained recovery re-runs only the
+        offending tasks, coarse recovery re-runs the whole section."""
+        workload = make_workload(
+            "cmp",
+            make_task(0, compute(40_000), write(DEP_BASE)),
+            make_task(1, compute(100), read(DEP_BASE), compute(10_000)),
+            make_task(2, compute(10_000)),
+            make_task(3, compute(10_000)),
+        )
+        fine = simulate(tiny_machine, MULTI_T_MV_EAGER, workload)
+        coarse = simulate_coarse_recovery(tiny_machine, workload)
+        assert fine.total_cycles < coarse.total_cycles

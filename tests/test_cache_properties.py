@@ -1,0 +1,153 @@
+"""Model-based property tests for the version cache.
+
+A reference model (per-set ordered dicts) mirrors every operation; the
+cache must agree with it on residency, LRU victim choice, and bulk
+operations for any operation sequence hypothesis generates.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CacheGeometry
+from repro.memsys.cache import CacheLine, VersionCache
+
+N_SETS = 4
+ASSOC = 2
+GEOMETRY = CacheGeometry(size_bytes=N_SETS * ASSOC * 64, assoc=ASSOC)
+
+#: Line addresses covering all sets with same-set aliases.
+LINES = [0, 1, 2, 3, 4, 5, 8, 12]
+TASKS = [0, 1, 2, 3]
+
+
+class ReferenceModel:
+    """Per-set LRU model: list of (line, task, dirty, committed, touch)."""
+
+    def __init__(self) -> None:
+        self.sets = {s: [] for s in range(N_SETS)}
+        self.clock = 0.0
+
+    def _set(self, line):
+        return self.sets[line % N_SETS]
+
+    def find(self, line, task):
+        for entry in self._set(line):
+            if entry["line"] == line and entry["task"] == task:
+                return entry
+        return None
+
+    def insert(self, line, task, dirty):
+        self.clock += 1
+        existing = self.find(line, task)
+        if existing is not None:
+            existing["dirty"] = existing["dirty"] or dirty
+            existing["touch"] = self.clock
+            return None
+        cache_set = self._set(line)
+        victim = None
+        if len(cache_set) >= ASSOC:
+            victim = min(cache_set, key=lambda e: e["touch"])
+            cache_set.remove(victim)
+        cache_set.append({"line": line, "task": task, "dirty": dirty,
+                          "committed": False, "touch": self.clock})
+        return victim
+
+    def touch(self, line, task):
+        self.clock += 1
+        entry = self.find(line, task)
+        if entry is not None:
+            entry["touch"] = self.clock
+        return entry
+
+    def invalidate_task(self, task):
+        dropped = 0
+        for cache_set in self.sets.values():
+            keep = [e for e in cache_set if e["task"] != task]
+            dropped += len(cache_set) - len(keep)
+            cache_set[:] = keep
+        return dropped
+
+    def mark_committed(self, task):
+        marked = 0
+        for cache_set in self.sets.values():
+            for entry in cache_set:
+                if entry["task"] == task and not entry["committed"]:
+                    entry["committed"] = True
+                    marked += 1
+        return marked
+
+    def resident(self):
+        return {
+            (e["line"], e["task"], e["dirty"], e["committed"])
+            for cache_set in self.sets.values() for e in cache_set
+        }
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.sampled_from(LINES),
+                  st.sampled_from(TASKS), st.booleans()),
+        st.tuples(st.just("touch"), st.sampled_from(LINES),
+                  st.sampled_from(TASKS), st.booleans()),
+        st.tuples(st.just("invalidate"), st.sampled_from(TASKS),
+                  st.just(0), st.just(False)),
+        st.tuples(st.just("commit"), st.sampled_from(TASKS),
+                  st.just(0), st.just(False)),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=120, deadline=None)
+def test_cache_agrees_with_reference_model(ops):
+    cache = VersionCache(GEOMETRY, name="model")
+    model = ReferenceModel()
+    now = 0.0
+    for op in ops:
+        now += 1.0
+        if op[0] == "insert":
+            _, line, task, dirty = op
+            expected_victim = model.insert(line, task, dirty)
+            victim = cache.insert(CacheLine(line, task, dirty=dirty), now)
+            if expected_victim is None:
+                assert victim is None
+            else:
+                assert victim is not None
+                assert victim.line_addr == expected_victim["line"]
+                assert victim.task_id == expected_victim["task"]
+        elif op[0] == "touch":
+            _, line, task, _ = op
+            expected = model.touch(line, task)
+            entry = cache.find(line, task)
+            assert (entry is None) == (expected is None)
+            if entry is not None:
+                cache.touch(entry, now)
+        elif op[0] == "invalidate":
+            _, task, _, _ = op
+            assert cache.invalidate_task(task) == model.invalidate_task(task)
+        elif op[0] == "commit":
+            _, task, _, _ = op
+            assert len(cache.mark_committed(task)) == model.mark_committed(
+                task)
+    actual = {
+        (e.line_addr, e.task_id, e.dirty, e.committed) for e in cache
+    }
+    assert actual == model.resident()
+    assert len(cache) == len(model.resident())
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_cache_capacity_never_exceeded(ops):
+    cache = VersionCache(GEOMETRY, name="cap")
+    now = 0.0
+    for op in ops:
+        now += 1.0
+        if op[0] == "insert":
+            _, line, task, dirty = op
+            cache.insert(CacheLine(line, task, dirty=dirty), now)
+    assert len(cache) <= GEOMETRY.n_lines
+    for set_index in range(N_SETS):
+        resident = [e for e in cache if e.line_addr % N_SETS == set_index]
+        assert len(resident) <= ASSOC

@@ -1,0 +1,143 @@
+"""Unit tests for machine configuration and latency models."""
+
+import pytest
+
+from repro.core.config import (
+    CMP_8,
+    CacheGeometry,
+    CostModel,
+    LINE_BYTES,
+    MACHINES,
+    MachineConfig,
+    NUMA_16,
+    NUMA_16_BIG_L2,
+    WORDS_PER_LINE,
+    scaled_machine,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCacheGeometry:
+    def test_paper_l2(self):
+        geometry = CacheGeometry(size_bytes=512 * 1024, assoc=4)
+        assert geometry.n_sets == 2048
+        assert geometry.n_lines == 8192
+
+    def test_sets_power_of_two_enforced(self):
+        with pytest.raises(ConfigurationError, match="power of two"):
+            CacheGeometry(size_bytes=3 * 64 * 4, assoc=4)
+
+    def test_size_divisibility_enforced(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=1000, assoc=2)
+
+    def test_positive_enforced(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=0, assoc=1)
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size_bytes=1024, assoc=-1)
+
+
+class TestCostModel:
+    def test_ipc_conversion(self):
+        costs = CostModel(ipc=2.0)
+        assert costs.cycles_for_instructions(1000) == 500
+
+    def test_bad_ipc(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(ipc=0)
+
+
+class TestNUMAPreset:
+    def test_paper_latencies(self):
+        assert NUMA_16.lat_l1 == 2
+        assert NUMA_16.lat_l2 == 12
+        assert NUMA_16.lat_memory_by_hops[0] == 75
+        assert NUMA_16.lat_memory_by_hops[2] == 208
+        assert NUMA_16.lat_memory_by_hops[3] == 291
+
+    def test_geometry(self):
+        assert NUMA_16.n_procs == 16
+        assert NUMA_16.l1.size_bytes == 32 * 1024 and NUMA_16.l1.assoc == 2
+        assert NUMA_16.l2.size_bytes == 512 * 1024 and NUMA_16.l2.assoc == 4
+
+    def test_mesh_hops(self):
+        # Node 0 is at (0,0); node 5 at (1,1): two hops on the 4x4 mesh.
+        assert NUMA_16.hops(0, 0) == 0
+        assert NUMA_16.hops(0, 1) == 1
+        assert NUMA_16.hops(0, 5) == 2
+        # Distances beyond the latency table cap at its maximum.
+        assert NUMA_16.hops(0, 15) == NUMA_16.max_hops == 3
+
+    def test_memory_latency_monotonic_in_hops(self):
+        latencies = [NUMA_16.memory_latency(0, n) for n in (0, 1, 5, 15)]
+        assert latencies == sorted(latencies)
+        assert latencies[0] == 75 and latencies[-1] == 291
+
+    def test_home_interleaving_round_robin(self):
+        assert NUMA_16.home_node(0) == 0
+        assert NUMA_16.home_node(17) == 1
+
+
+class TestCMPPreset:
+    def test_paper_latencies(self):
+        assert CMP_8.lat_l1 == 2
+        assert CMP_8.lat_l2 == 8
+        assert CMP_8.remote_cache_latency(0, 1) == 18
+        assert CMP_8.lat_l3 == 38
+        assert CMP_8.memory_latency(0, 5) == 102
+
+    def test_crossbar_equidistant(self):
+        distances = {CMP_8.hops(0, other) for other in range(1, 8)}
+        assert distances == {1}
+
+    def test_l3_geometry(self):
+        assert CMP_8.l3 is not None
+        assert CMP_8.l3.size_bytes == 16 * 1024 * 1024
+
+
+class TestBigL2:
+    def test_lazy_l2_geometry(self):
+        assert NUMA_16_BIG_L2.l2.size_bytes == 4 * 1024 * 1024
+        assert NUMA_16_BIG_L2.l2.assoc == 16
+        # Everything else matches the base NUMA machine.
+        assert NUMA_16_BIG_L2.l1 == NUMA_16.l1
+        assert NUMA_16_BIG_L2.n_procs == NUMA_16.n_procs
+
+
+class TestScaledMachine:
+    def test_shrink(self):
+        machine = scaled_machine(NUMA_16, 4)
+        assert machine.n_procs == 4
+        assert machine.mesh_side == 2
+        assert machine.hops(0, 3) == 2
+
+    def test_grow(self):
+        machine = scaled_machine(NUMA_16, 25)
+        assert machine.mesh_side == 5
+
+    def test_crossbar_stays_crossbar(self):
+        machine = scaled_machine(CMP_8, 4)
+        assert machine.mesh_side is None
+        assert machine.hops(0, 3) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            scaled_machine(NUMA_16, 0)
+
+
+class TestRegistry:
+    def test_machines_registry(self):
+        assert MACHINES["numa16"] is NUMA_16
+        assert MACHINES["cmp8"] is CMP_8
+        assert MACHINES["numa16-bigl2"] is NUMA_16_BIG_L2
+
+    def test_constants(self):
+        assert LINE_BYTES == 64
+        assert WORDS_PER_LINE == 16
+
+    def test_with_costs(self):
+        costs = CostModel(token_pass=1)
+        machine = NUMA_16.with_costs(costs)
+        assert machine.costs.token_pass == 1
+        assert NUMA_16.costs.token_pass != 1

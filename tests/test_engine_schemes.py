@@ -1,0 +1,235 @@
+"""Per-scheme engine behaviour: the mechanisms of Section 3.3.
+
+Each test builds a micro-scenario in which exactly one mechanism fires and
+asserts both its presence under the scheme that has it and its absence under
+the scheme that does not.
+"""
+
+import pytest
+
+from repro.core.config import CacheGeometry, scaled_machine, NUMA_16
+from repro.core.engine import Simulation, simulate
+from repro.core.taxonomy import (
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_FMM,
+    MULTI_T_MV_FMM_SW,
+    MULTI_T_MV_LAZY,
+    MULTI_T_SV_EAGER,
+    SINGLE_T_EAGER,
+    SINGLE_T_LAZY,
+)
+from repro.processor.processor import CycleCategory
+from repro.workloads.base import PRIV_BASE
+from tests.conftest import WORD_A, compute, make_task, make_workload, read, write
+
+
+def imbalanced_workload():
+    """T0 long; T1-T3 short. Two processors."""
+    tasks = [make_task(0, compute(80_000))]
+    for tid in (1, 2, 3):
+        tasks.append(make_task(tid, compute(2_000)))
+    return make_workload("imbalanced", *tasks)
+
+
+def priv_workload():
+    """Figure 5's pattern: T0 long; T1-T3 short, each writing word X."""
+    x = PRIV_BASE
+    tasks = [make_task(0, compute(80_000))]
+    for tid in (1, 2, 3):
+        tasks.append(make_task(
+            tid, compute(500), write(x), compute(4_000), read(x)))
+    return make_workload("priv", *tasks)
+
+
+class TestSingleTStall:
+    def test_singlet_parks_after_speculative_finish(self, tiny_machine):
+        result = simulate(tiny_machine, SINGLE_T_EAGER, imbalanced_workload())
+        # P1 finishes T1 early and must hold it speculative until T0
+        # commits, then T2, then T3: large commit-stall time.
+        stall = result.cycles_by_category[CycleCategory.COMMIT_STALL]
+        assert stall > 30_000
+
+    def test_multit_keeps_executing(self, tiny_machine):
+        result = simulate(tiny_machine, MULTI_T_MV_EAGER,
+                          imbalanced_workload())
+        assert result.cycles_by_category[CycleCategory.COMMIT_STALL] == 0
+        singlet = simulate(tiny_machine, SINGLE_T_EAGER,
+                           imbalanced_workload())
+        assert result.total_cycles < singlet.total_cycles
+
+    def test_multit_runs_tasks_on_fewer_procs(self, tiny_machine):
+        """Under MultiT, P1 executes T1, T2 and T3 while P0 runs T0."""
+        sim = Simulation(tiny_machine, MULTI_T_MV_EAGER,
+                         imbalanced_workload())
+        result = sim.run()
+        procs = {t.task_id: t.proc_id for t in result.task_timings}
+        assert procs[0] == 0
+        assert procs[1] == procs[2] == procs[3] == 1
+
+
+class TestMultiTSVStall:
+    def test_sv_stalls_on_second_local_version(self, tiny_machine):
+        result = simulate(tiny_machine, MULTI_T_SV_EAGER, priv_workload())
+        assert result.cycles_by_category[CycleCategory.SV_STALL] > 10_000
+
+    def test_mv_never_sv_stalls(self, tiny_machine):
+        result = simulate(tiny_machine, MULTI_T_MV_EAGER, priv_workload())
+        assert result.cycles_by_category[CycleCategory.SV_STALL] == 0
+
+    def test_ordering_singlet_sv_mv(self, tiny_machine):
+        """Figure 5: MultiT&MV < = MultiT&SV <= SingleT on this pattern."""
+        singlet = simulate(tiny_machine, SINGLE_T_EAGER, priv_workload())
+        sv = simulate(tiny_machine, MULTI_T_SV_EAGER, priv_workload())
+        mv = simulate(tiny_machine, MULTI_T_MV_EAGER, priv_workload())
+        assert mv.total_cycles < sv.total_cycles
+        assert mv.total_cycles < singlet.total_cycles
+
+    def test_sv_resumes_on_blocker_commit(self, tiny_machine):
+        """The stalled write completes and the final image is correct."""
+        workload = priv_workload()
+        result = simulate(tiny_machine, MULTI_T_SV_EAGER, workload)
+        assert result.memory_image == workload.sequential_image()
+        assert result.violation_events == 0
+
+    def test_clean_remote_copies_do_not_block(self, tiny_machine):
+        """SV blocks on locally-created versions, not on fetched copies:
+        T1 only *reads* T0's word before T2 writes it on the same proc."""
+        x = PRIV_BASE
+        workload = make_workload(
+            "copies",
+            make_task(0, write(x), compute(40_000)),
+            make_task(1, compute(2_000), read(x), compute(1_000)),
+            make_task(2, compute(4_000), write(x + 1), compute(500)),
+        )
+        result = simulate(tiny_machine, MULTI_T_SV_EAGER, workload)
+        # T1's clean copy of T0's version shares the line with T2's write
+        # target, but a clean copy must not trigger the SV stall.
+        assert result.cycles_by_category[CycleCategory.SV_STALL] == 0
+
+
+class TestEagerVsLazy:
+    def footprint_workload(self, n_tasks=6, lines=20):
+        tasks = []
+        for tid in range(n_tasks):
+            ops = [compute(2_000)]
+            base = PRIV_BASE + (tid * lines + 64) * 16
+            for j in range(lines):
+                ops.append(write(base + j * 16))
+                ops.append(compute(100))
+            tasks.append(make_task(tid, *ops))
+        return make_workload("footprint", *tasks)
+
+    def test_lazy_shrinks_token_hold(self, quad_machine):
+        workload = self.footprint_workload()
+        eager = simulate(quad_machine, MULTI_T_MV_EAGER, workload)
+        lazy = simulate(quad_machine, MULTI_T_MV_LAZY, workload)
+        assert lazy.token_hold_cycles < eager.token_hold_cycles / 3
+
+    def test_lazy_commit_duration_is_token_pass(self, quad_machine):
+        workload = self.footprint_workload()
+        lazy = simulate(quad_machine, MULTI_T_MV_LAZY, workload)
+        token = quad_machine.costs.token_pass
+        for _tid, start, end in lazy.commit_wavefront:
+            assert end - start == pytest.approx(token)
+
+    def test_lazy_faster_when_commit_bound(self, quad_machine):
+        workload = self.footprint_workload()
+        eager = simulate(quad_machine, SINGLE_T_EAGER, workload)
+        lazy = simulate(quad_machine, SINGLE_T_LAZY, workload)
+        assert lazy.total_cycles < eager.total_cycles
+
+    def test_lazy_final_merge_extends_past_last_commit(self, quad_machine):
+        workload = self.footprint_workload()
+        lazy = simulate(quad_machine, MULTI_T_MV_LAZY, workload)
+        last_commit = max(end for _t, _s, end in lazy.commit_wavefront)
+        assert lazy.total_cycles > last_commit
+
+    def test_eager_ends_at_last_commit(self, quad_machine):
+        workload = self.footprint_workload()
+        eager = simulate(quad_machine, MULTI_T_MV_EAGER, workload)
+        last_commit = max(end for _t, _s, end in eager.commit_wavefront)
+        assert eager.total_cycles == pytest.approx(last_commit)
+
+
+class TestFMM:
+    def multi_version_workload(self):
+        """Several tasks all writing the same line (privatization)."""
+        x = PRIV_BASE
+        tasks = []
+        for tid in range(6):
+            tasks.append(make_task(
+                tid, compute(1_000), write(x), write(x + 1),
+                compute(1_000), read(x)))
+        return make_workload("versions", *tasks)
+
+    def test_undo_log_populated_and_freed(self, quad_machine):
+        workload = self.multi_version_workload()
+        sim = Simulation(quad_machine, MULTI_T_MV_FMM, workload)
+        result = sim.run()
+        assert result.peak_undolog_entries > 0
+        # All entries freed at commit.
+        assert all(len(p.undolog) == 0 for p in sim.procs)
+
+    def test_amm_does_not_log(self, quad_machine):
+        result = simulate(quad_machine, MULTI_T_MV_EAGER,
+                          self.multi_version_workload())
+        assert result.peak_undolog_entries == 0
+
+    def test_fmm_keeps_one_version_per_line_per_proc(self, quad_machine):
+        """After logging, older local versions leave the cache: a processor
+        holds at most one (speculative or committed) version of a line."""
+        workload = self.multi_version_workload()
+        sim = Simulation(quad_machine, MULTI_T_MV_FMM, workload)
+        sim.run()
+        for proc in sim.procs:
+            entries = proc.l2.entries(PRIV_BASE // 16)
+            assert len(entries) <= 1
+
+    def test_fmm_sw_adds_busy_cycles(self, quad_machine):
+        workload = self.multi_version_workload()
+        hw = simulate(quad_machine, MULTI_T_MV_FMM, workload)
+        sw = simulate(quad_machine, MULTI_T_MV_FMM_SW, workload)
+        assert sw.busy_cycles > hw.busy_cycles
+        assert sw.total_cycles >= hw.total_cycles
+
+    def test_fmm_image_correct_with_displacements(self, fast_costs):
+        """Uncommitted versions reach memory (MTID) yet the image is right."""
+        machine = scaled_machine(NUMA_16, 2).with_costs(fast_costs)
+        # Shrink L2 to force displacement of speculative lines to memory.
+        machine = machine.with_l2(CacheGeometry(size_bytes=1024, assoc=2))
+        tasks = []
+        for tid in range(8):
+            ops = [compute(500)]
+            for j in range(12):
+                ops.append(write(PRIV_BASE + j * 16 + tid))
+            tasks.append(make_task(tid, *ops))
+        workload = make_workload("spill", *tasks)
+        result = simulate(machine, MULTI_T_MV_FMM, workload)
+        assert result.memory_image == workload.sequential_image()
+
+
+class TestOverflowArea:
+    def small_l2_machine(self, fast_costs):
+        machine = scaled_machine(NUMA_16, 2).with_costs(fast_costs)
+        return machine.with_l2(CacheGeometry(size_bytes=1024, assoc=2))
+
+    def spill_workload(self):
+        tasks = []
+        for tid in range(6):
+            ops = [compute(500)]
+            for j in range(20):
+                ops.append(write(PRIV_BASE + j * 16 + tid))
+            ops.append(compute(20_000))
+            tasks.append(make_task(tid, *ops))
+        return make_workload("overflow", *tasks)
+
+    def test_amm_spills_speculative_lines(self, fast_costs):
+        machine = self.small_l2_machine(fast_costs)
+        result = simulate(machine, MULTI_T_MV_EAGER, self.spill_workload())
+        assert result.peak_overflow_lines > 0
+        assert result.memory_image == self.spill_workload().sequential_image()
+
+    def test_fmm_never_uses_overflow(self, fast_costs):
+        machine = self.small_l2_machine(fast_costs)
+        result = simulate(machine, MULTI_T_MV_FMM, self.spill_workload())
+        assert result.peak_overflow_lines == 0

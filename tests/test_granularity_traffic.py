@@ -1,0 +1,145 @@
+"""Tests for violation granularity and protocol traffic accounting."""
+
+import pytest
+
+from repro.core.engine import Simulation, simulate
+from repro.core.taxonomy import (
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_FMM,
+    MULTI_T_MV_LAZY,
+    SINGLE_T_EAGER,
+)
+from repro.errors import ConfigurationError
+from repro.workloads.apps import generate_workload
+from repro.workloads.base import OUTPUT_BASE
+from tests.conftest import compute, make_task, make_workload, read, write
+
+
+def false_sharing_workload(n_tasks: int = 4):
+    """Disjoint words of one shared line, written by different tasks.
+
+    Task 0 runs long and writes its word *late*; the later tasks write and
+    re-read their own words early. Word-granularity detection never
+    squashes (the words are disjoint); line-granularity detection cannot
+    tell task 0's late write apart from a real dependence into the line the
+    later tasks already read, so it squashes them — the classic
+    false-sharing penalty.
+    """
+    line_base = OUTPUT_BASE  # word 0 of some line
+    tasks = [make_task(
+        0,
+        compute(40_000),
+        write(line_base),            # late write to word 0
+        compute(200),
+    )]
+    for tid in range(1, n_tasks):
+        tasks.append(make_task(
+            tid,
+            compute(400),
+            write(line_base + tid),  # own word of the shared line
+            compute(1_000),
+            read(line_base + tid),   # re-read own word
+            compute(12_000),
+        ))
+    return make_workload("false-sharing", *tasks)
+
+
+class TestViolationGranularity:
+    def test_word_granularity_ignores_false_sharing(self, quad_machine):
+        workload = false_sharing_workload()
+        result = simulate(quad_machine, MULTI_T_MV_EAGER, workload)
+        assert result.violation_events == 0
+
+    def test_line_granularity_squashes_false_sharing(self, quad_machine):
+        workload = false_sharing_workload()
+        result = Simulation(quad_machine, MULTI_T_MV_EAGER, workload,
+                            violation_granularity="line").run()
+        assert result.violation_events >= 1
+        assert result.squashed_executions >= 1
+        # Semantics are still correct, just slower.
+        assert result.memory_image == workload.sequential_image()
+
+    def test_line_granularity_costs_time(self, quad_machine):
+        workload = false_sharing_workload()
+        word = simulate(quad_machine, MULTI_T_MV_EAGER, workload)
+        line = Simulation(quad_machine, MULTI_T_MV_EAGER, workload,
+                          violation_granularity="line").run()
+        assert line.total_cycles > word.total_cycles
+
+    def test_real_violations_detected_under_both(self, tiny_machine):
+        from repro.workloads.base import DEP_BASE
+
+        workload = make_workload(
+            "dep",
+            make_task(0, compute(40_000), write(DEP_BASE)),
+            make_task(1, compute(200), read(DEP_BASE), compute(20_000)),
+        )
+        for granularity in ("word", "line"):
+            result = Simulation(tiny_machine, MULTI_T_MV_EAGER, workload,
+                                violation_granularity=granularity).run()
+            assert result.violation_events >= 1
+
+    def test_invalid_granularity_rejected(self, tiny_machine):
+        workload = false_sharing_workload(2)
+        with pytest.raises(ConfigurationError, match="granularity"):
+            Simulation(tiny_machine, MULTI_T_MV_EAGER, workload,
+                       violation_granularity="page")
+
+
+class TestTrafficAccounting:
+    def test_eager_writes_back_every_dirty_line(self, quad_machine):
+        workload = generate_workload("Bdna", scale=0.1)
+        result = simulate(quad_machine, MULTI_T_MV_EAGER, workload)
+        # Every task's footprint is written back at commit (plus the final
+        # zero-cost flush finds nothing new for committed data).
+        expected_lines = sum(len(t.written_lines()) for t in workload.tasks)
+        assert result.traffic.line_writebacks >= expected_lines
+
+    def test_lazy_defers_writebacks(self, quad_machine):
+        workload = generate_workload("Apsi", scale=0.1)
+        eager = simulate(quad_machine, MULTI_T_MV_EAGER, workload)
+        lazy = simulate(quad_machine, MULTI_T_MV_LAZY, workload)
+        # Same data eventually reaches memory, so write-back counts are
+        # comparable; but laziness shifts them off the commit path. The
+        # observable difference is the token-hold time, not the count.
+        assert lazy.traffic.line_writebacks > 0
+        assert lazy.token_hold_cycles < eager.token_hold_cycles
+
+    def test_remote_fetches_counted_for_forwarding(self, tiny_machine):
+        from repro.workloads.base import DEP_BASE
+
+        workload = make_workload(
+            "fwd",
+            make_task(0, write(DEP_BASE), compute(50)),
+            make_task(1, compute(30_000), read(DEP_BASE)),
+        )
+        result = simulate(tiny_machine, MULTI_T_MV_EAGER, workload)
+        assert (result.traffic.remote_cache_fetches
+                + result.traffic.memory_fetches) >= 1
+
+    def test_overflow_traffic_under_pressure(self, fast_costs):
+        from repro.core.config import CacheGeometry, NUMA_16, scaled_machine
+        from repro.workloads.base import PRIV_BASE
+
+        machine = scaled_machine(NUMA_16, 2).with_costs(fast_costs)
+        machine = machine.with_l2(CacheGeometry(size_bytes=1024, assoc=2))
+        tasks = []
+        for tid in range(6):
+            ops = [compute(500)]
+            for j in range(20):
+                ops.append(write(PRIV_BASE + j * 16 + tid))
+            ops.append(compute(20_000))
+            tasks.append(make_task(tid, *ops))
+        workload = make_workload("spill", *tasks)
+        amm = simulate(machine, MULTI_T_MV_EAGER, workload)
+        fmm = simulate(machine, MULTI_T_MV_FMM, workload)
+        assert amm.traffic.overflow_spills > 0
+        assert fmm.traffic.overflow_spills == 0
+
+    def test_total_messages_sum(self):
+        from repro.core.results import TrafficStats
+
+        traffic = TrafficStats(remote_cache_fetches=1, memory_fetches=2,
+                               line_writebacks=3, vcl_merges=4,
+                               overflow_spills=5, overflow_fetches=6)
+        assert traffic.total_messages() == 21

@@ -1,0 +1,156 @@
+"""Integration tests: the paper's qualitative claims at reduced scale.
+
+These run the real application workloads (scaled down ~4x) through the full
+engine and assert the *directional* findings of Section 5. Absolute
+magnitudes are checked loosely — the full-scale numbers live in the
+benchmark suite and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.baselines.sequential import simulate_sequential
+from repro.core.config import CMP_8, NUMA_16, NUMA_16_BIG_L2
+from repro.core.engine import simulate
+from repro.core.taxonomy import (
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_FMM,
+    MULTI_T_MV_FMM_SW,
+    MULTI_T_MV_LAZY,
+    MULTI_T_SV_EAGER,
+    SINGLE_T_EAGER,
+    SINGLE_T_LAZY,
+)
+from repro.workloads.apps import APPLICATION_ORDER, generate_workload
+
+SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """All (app, scheme) results on the NUMA machine, cached per module."""
+    cache = {}
+
+    def get(app, scheme, machine=NUMA_16):
+        key = (app, scheme.name, machine.name)
+        if key not in cache:
+            workload = generate_workload(app, scale=SCALE)
+            cache[key] = simulate(machine, scheme, workload)
+        return cache[key]
+
+    return get
+
+
+class TestSection51SeparationOfTaskState:
+    def test_multit_mv_beats_singlet_on_imbalanced_p3m(self, runs):
+        assert (runs("P3m", MULTI_T_MV_EAGER).total_cycles
+                < 0.8 * runs("P3m", SINGLE_T_EAGER).total_cycles)
+
+    def test_multit_sv_matches_mv_without_privatization(self, runs):
+        """Track/Dsmc3d/Euler have no privatization: SV tracks MV."""
+        for app in ("Track", "Dsmc3d", "Euler"):
+            sv = runs(app, MULTI_T_SV_EAGER).total_cycles
+            mv = runs(app, MULTI_T_MV_EAGER).total_cycles
+            assert sv == pytest.approx(mv, rel=0.1)
+
+    def test_multit_sv_forfeits_mv_gain_with_privatization(self, runs):
+        """Tree/Bdna/Apsi write privatized data early: SV stalls at once
+        and loses most of MultiT&MV's advantage."""
+        for app in ("Tree", "Bdna", "Apsi"):
+            sv = runs(app, MULTI_T_SV_EAGER).total_cycles
+            mv = runs(app, MULTI_T_MV_EAGER).total_cycles
+            assert sv > 1.15 * mv
+
+    def test_average_mv_gain(self, runs):
+        """MultiT&MV reduces average execution time vs SingleT Eager."""
+        reductions = [
+            1 - (runs(app, MULTI_T_MV_EAGER).total_cycles
+                 / runs(app, SINGLE_T_EAGER).total_cycles)
+            for app in APPLICATION_ORDER
+        ]
+        assert sum(reductions) / len(reductions) > 0.15
+
+
+class TestSection52Laziness:
+    def test_laziness_helps_singlet_for_high_ce_apps(self, runs):
+        for app in ("Bdna", "Apsi", "Track", "Euler"):
+            lazy = runs(app, SINGLE_T_LAZY).total_cycles
+            eager = runs(app, SINGLE_T_EAGER).total_cycles
+            assert lazy < eager
+
+    def test_laziness_irrelevant_for_low_ce_apps(self, runs):
+        """P3m and Tree have low commit/exec ratios: laziness gains little."""
+        for app in ("P3m", "Tree"):
+            lazy = runs(app, SINGLE_T_LAZY).total_cycles
+            eager = runs(app, SINGLE_T_EAGER).total_cycles
+            assert lazy > 0.9 * eager
+
+    def test_laziness_helps_mv_for_apsi_track_euler(self, runs):
+        for app in ("Apsi", "Track", "Euler"):
+            lazy = runs(app, MULTI_T_MV_LAZY).total_cycles
+            eager = runs(app, MULTI_T_MV_EAGER).total_cycles
+            assert lazy < 0.92 * eager
+
+
+class TestSection52AMMvsFMM:
+    def test_lazy_amm_beats_fmm_under_frequent_squashes(self, runs):
+        """Euler squashes often; FMM's log-replay recovery is slower."""
+        lazy = runs("Euler", MULTI_T_MV_LAZY)
+        fmm = runs("Euler", MULTI_T_MV_FMM)
+        assert fmm.violation_events >= 1
+        assert fmm.total_cycles > lazy.total_cycles
+
+    def test_fmm_helps_under_buffer_pressure(self, runs):
+        """P3m piles versions into the same sets; FMM relieves AMM."""
+        lazy = runs("P3m", MULTI_T_MV_LAZY)
+        fmm = runs("P3m", MULTI_T_MV_FMM)
+        assert fmm.peak_overflow_lines == 0
+        assert lazy.peak_overflow_lines > 0
+        assert fmm.total_cycles <= lazy.total_cycles
+
+    def test_lazy_l2_relieves_p3m_pressure(self, runs):
+        """The 4-MB 16-way L2 closes most of the AMM-FMM gap on P3m."""
+        lazy = runs("P3m", MULTI_T_MV_LAZY).total_cycles
+        fmm = runs("P3m", MULTI_T_MV_FMM).total_cycles
+        big = runs("P3m", MULTI_T_MV_LAZY, NUMA_16_BIG_L2).total_cycles
+        assert big < lazy or abs(big - fmm) / fmm < 0.1
+
+    def test_fmm_sw_costs_a_few_percent(self, runs):
+        ratios = []
+        for app in APPLICATION_ORDER:
+            sw = runs(app, MULTI_T_MV_FMM_SW).total_cycles
+            hw = runs(app, MULTI_T_MV_FMM).total_cycles
+            ratios.append(sw / hw)
+        average = sum(ratios) / len(ratios)
+        assert 1.0 <= average < 1.2
+
+
+class TestSection53CMP:
+    def test_cmp_gains_smaller_than_numa(self, runs):
+        """Buffering choices matter less with low memory latencies."""
+        def lazy_gain(machine):
+            gains = []
+            for app in ("Apsi", "Track", "Euler"):
+                eager = runs(app, MULTI_T_MV_EAGER, machine).total_cycles
+                lazy = runs(app, MULTI_T_MV_LAZY, machine).total_cycles
+                gains.append(1 - lazy / eager)
+            return sum(gains) / len(gains)
+
+        assert lazy_gain(CMP_8) < lazy_gain(NUMA_16)
+
+    def test_cmp_busy_fraction_higher(self, runs):
+        """The CMP's lower latencies leave relatively more busy time."""
+        higher = 0
+        for app in APPLICATION_ORDER:
+            numa = runs(app, MULTI_T_MV_EAGER).busy_fraction()
+            cmp_ = runs(app, MULTI_T_MV_EAGER, CMP_8).busy_fraction()
+            higher += cmp_ > numa
+        assert higher >= 5
+
+
+class TestSpeedups:
+    @pytest.mark.parametrize("app", APPLICATION_ORDER)
+    def test_best_scheme_achieves_parallel_speedup(self, runs, app):
+        workload = generate_workload(app, scale=SCALE)
+        seq = simulate_sequential(NUMA_16, workload)
+        best = runs(app, MULTI_T_MV_LAZY)
+        assert best.speedup_over(seq.total_cycles) > 1.5

@@ -1,0 +1,86 @@
+"""Unit tests for interconnect topologies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interconnect import Crossbar, Mesh2D, topology
+
+
+class TestMesh2D:
+    def test_hops_manhattan(self):
+        mesh = Mesh2D(side=4, n_nodes=16)
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 1) == 1
+        assert mesh.hops(0, 4) == 1
+        assert mesh.hops(0, 5) == 2
+        assert mesh.hops(0, 15) == 6
+
+    def test_symmetry(self):
+        mesh = Mesh2D(side=4, n_nodes=16)
+        for a in range(16):
+            for b in range(16):
+                assert mesh.hops(a, b) == mesh.hops(b, a)
+
+    def test_triangle_inequality(self):
+        mesh = Mesh2D(side=3, n_nodes=9)
+        for a in range(9):
+            for b in range(9):
+                for c in range(9):
+                    assert (mesh.hops(a, c)
+                            <= mesh.hops(a, b) + mesh.hops(b, c))
+
+    def test_diameter(self):
+        assert Mesh2D(side=4, n_nodes=16).diameter == 6
+        assert Mesh2D(side=2, n_nodes=4).diameter == 2
+
+    def test_route_endpoints_and_length(self):
+        mesh = Mesh2D(side=4, n_nodes=16)
+        route = mesh.route(0, 15)
+        assert route[0] == 0 and route[-1] == 15
+        assert len(route) == mesh.hops(0, 15) + 1
+        # Consecutive route nodes are mesh neighbours.
+        for a, b in zip(route, route[1:]):
+            assert mesh.hops(a, b) == 1
+
+    def test_partial_mesh(self):
+        mesh = Mesh2D(side=3, n_nodes=7)
+        assert mesh.hops(0, 6) == 2
+
+    def test_bad_configs(self):
+        with pytest.raises(ConfigurationError):
+            Mesh2D(side=0, n_nodes=1)
+        with pytest.raises(ConfigurationError):
+            Mesh2D(side=2, n_nodes=5)
+        with pytest.raises(ConfigurationError):
+            Mesh2D(side=2, n_nodes=4).hops(0, 7)
+
+    def test_average_hops(self):
+        mesh = Mesh2D(side=2, n_nodes=4)
+        # Pairs at distance 1: 8 of 12; distance 2: 4 of 12.
+        assert mesh.average_hops() == pytest.approx((8 * 1 + 4 * 2) / 12)
+
+
+class TestCrossbar:
+    def test_hops(self):
+        xbar = Crossbar(n_nodes=8)
+        assert xbar.hops(3, 3) == 0
+        assert xbar.hops(0, 7) == 1
+        assert xbar.diameter == 1
+
+    def test_single_node(self):
+        assert Crossbar(n_nodes=1).diameter == 0
+
+    def test_bad(self):
+        with pytest.raises(ConfigurationError):
+            Crossbar(n_nodes=0)
+
+
+class TestTopologyFactory:
+    def test_mesh_when_side_given(self):
+        assert isinstance(topology(16, 4), Mesh2D)
+
+    def test_crossbar_when_no_side(self):
+        assert isinstance(topology(8, None), Crossbar)
+
+    def test_cached(self):
+        assert topology(16, 4) is topology(16, 4)

@@ -1,0 +1,79 @@
+"""Unit tests for the processor model's parking and cycle accounting."""
+
+import pytest
+
+from repro.core.config import NUMA_16
+from repro.errors import SimulationError
+from repro.processor.processor import (
+    CycleAccount,
+    CycleCategory,
+    Processor,
+    STALL_CATEGORIES,
+)
+from repro.tls.task import TaskRun, TaskState
+from tests.conftest import compute, make_task
+
+
+class TestCycleAccount:
+    def test_busy_vs_stall_split(self):
+        account = CycleAccount()
+        account.add(CycleCategory.BUSY, 100)
+        account.add(CycleCategory.MEMORY, 30)
+        account.add(CycleCategory.IDLE, 20)
+        assert account.busy() == 100
+        assert account.stall() == 50
+        assert account.total() == 150
+
+    def test_negative_charge_rejected(self):
+        account = CycleAccount()
+        with pytest.raises(SimulationError):
+            account.add(CycleCategory.BUSY, -1)
+
+    def test_stall_categories_cover_everything_but_busy(self):
+        assert set(STALL_CATEGORIES) == set(CycleCategory) - {
+            CycleCategory.BUSY
+        }
+
+
+class TestParking:
+    def test_park_unpark_charges_category(self):
+        proc = Processor(0, NUMA_16)
+        proc.park(10.0, CycleCategory.SV_STALL, sv_blocker=3)
+        assert proc.parked
+        assert proc.sv_blocker == 3
+        proc.unpark(25.0)
+        assert not proc.parked
+        assert proc.account.by_category[CycleCategory.SV_STALL] == 15.0
+        assert proc.sv_blocker is None
+
+    def test_double_park_rejected(self):
+        proc = Processor(0, NUMA_16)
+        proc.park(0.0, CycleCategory.IDLE)
+        with pytest.raises(SimulationError):
+            proc.park(1.0, CycleCategory.MEMORY)
+
+    def test_unpark_without_park_rejected(self):
+        proc = Processor(0, NUMA_16)
+        with pytest.raises(SimulationError):
+            proc.unpark(5.0)
+
+
+class TestResidency:
+    def test_speculative_resident_excludes_committed(self):
+        proc = Processor(0, NUMA_16)
+        running = TaskRun(spec=make_task(1, compute(1)))
+        running.state = TaskState.RUNNING
+        committed = TaskRun(spec=make_task(0, compute(1)))
+        committed.state = TaskState.COMMITTED
+        proc.resident = {0: committed, 1: running}
+        assert proc.speculative_resident() == [running]
+
+    def test_drop_resident_tolerates_missing(self):
+        proc = Processor(0, NUMA_16)
+        proc.drop_resident(42)  # no error
+
+    def test_caches_named_after_processor(self):
+        proc = Processor(3, NUMA_16)
+        assert "P3" in proc.l1.name and "P3" in proc.l2.name
+        assert proc.overflow.proc_id == 3
+        assert proc.undolog.proc_id == 3

@@ -1,0 +1,94 @@
+"""Tests for result containers and derived metrics."""
+
+import pytest
+
+from repro.core.results import SimulationResult, TaskTiming
+from repro.core.taxonomy import MULTI_T_MV_EAGER
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.processor.processor import CycleCategory
+
+
+def make_result(**overrides) -> SimulationResult:
+    base = dict(
+        scheme=MULTI_T_MV_EAGER,
+        machine_name="m",
+        workload_name="w",
+        n_procs=4,
+        n_tasks=2,
+        total_cycles=1000.0,
+        cycles_by_category={
+            CycleCategory.BUSY: 600.0,
+            CycleCategory.MEMORY: 200.0,
+            CycleCategory.SV_STALL: 0.0,
+            CycleCategory.COMMIT_STALL: 100.0,
+            CycleCategory.RECOVERY: 0.0,
+            CycleCategory.IDLE: 100.0,
+        },
+        violation_events=0,
+        squashed_executions=0,
+        commit_wavefront=[(0, 10.0, 20.0), (1, 20.0, 25.0)],
+        token_hold_cycles=15.0,
+        task_timings=[
+            TaskTiming(0, 0, 0.0, 100.0, 100.0, 110.0, 0),
+            TaskTiming(1, 1, 0.0, 200.0, 210.0, 230.0, 1),
+        ],
+        avg_spec_tasks_in_system=8.0,
+        avg_written_footprint_bytes=512.0,
+        priv_footprint_fraction=0.5,
+    )
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+class TestTaskTiming:
+    def test_durations(self):
+        timing = TaskTiming(0, 1, 10.0, 40.0, 50.0, 65.0, 0)
+        assert timing.execution_cycles == 30.0
+        assert timing.commit_cycles == 15.0
+
+    def test_clamped_non_negative(self):
+        timing = TaskTiming(0, 1, 10.0, 5.0, 0.0, 0.0, 0)
+        assert timing.execution_cycles == 0.0
+
+
+class TestDerivedMetrics:
+    def test_busy_stall_split(self):
+        result = make_result()
+        assert result.busy_cycles == 600.0
+        assert result.stall_cycles == 400.0
+        assert result.busy_fraction() == pytest.approx(0.6)
+
+    def test_commit_exec_ratio(self):
+        result = make_result()
+        # Task 0: 10/100; task 1: 20/200 -> mean 0.1.
+        assert result.commit_exec_ratio() == pytest.approx(0.1)
+
+    def test_speedup_and_normalization(self):
+        result = make_result()
+        assert result.speedup_over(4000.0) == pytest.approx(4.0)
+        other = make_result(total_cycles=500.0)
+        assert other.normalized_to(result) == pytest.approx(0.5)
+
+    def test_per_proc_occupancy(self):
+        assert make_result().avg_spec_tasks_per_proc == pytest.approx(2.0)
+
+    def test_summary_mentions_key_fields(self):
+        text = make_result().summary()
+        assert "MultiT&MV Eager AMM" in text
+        assert "w" in text
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigurationError, SimulationError, WorkloadError,
+                    ProtocolError):
+            assert issubclass(exc, ReproError)
+
+    def test_protocol_is_simulation_error(self):
+        assert issubclass(ProtocolError, SimulationError)

@@ -1,0 +1,152 @@
+"""Tests for JSON serialization and SVG figure rendering."""
+
+import json
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.experiments import ExperimentContext, run_figure9
+from repro.analysis.serialization import (
+    load_workload,
+    result_summary_from_dict,
+    result_to_dict,
+    save_result,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+from repro.analysis.svgplot import (
+    SvgBar,
+    render_grouped_bars_svg,
+    save_svg,
+    scheme_bars_to_svg,
+)
+from repro.core.config import NUMA_16, scaled_machine
+from repro.core.engine import simulate
+from repro.core.taxonomy import MULTI_T_MV_LAZY
+from repro.errors import ConfigurationError, WorkloadError
+from repro.workloads.apps import generate_workload
+from tests.conftest import compute, make_task, make_workload, read, write
+
+
+class TestWorkloadSerialization:
+    def test_round_trip_handmade(self):
+        workload = make_workload(
+            "rt", make_task(0, compute(10), write(5), read(5)))
+        clone = workload_from_dict(workload_to_dict(workload))
+        assert clone == workload
+
+    def test_round_trip_generated(self):
+        workload = generate_workload("Apsi", scale=0.05)
+        clone = workload_from_dict(workload_to_dict(workload))
+        assert clone.tasks == workload.tasks
+        assert clone.name == workload.name
+        assert clone.sequential_image() == workload.sequential_image()
+
+    def test_round_trip_through_file(self, tmp_path):
+        workload = generate_workload("Track", scale=0.05)
+        path = tmp_path / "track.json"
+        save_workload(workload, str(path))
+        clone = load_workload(str(path))
+        assert clone.tasks == workload.tasks
+
+    def test_round_trip_preserves_simulation(self):
+        machine = scaled_machine(NUMA_16, 4)
+        workload = generate_workload("Euler", scale=0.08)
+        clone = workload_from_dict(workload_to_dict(workload))
+        original = simulate(machine, MULTI_T_MV_LAZY, workload)
+        replayed = simulate(machine, MULTI_T_MV_LAZY, clone)
+        assert replayed.total_cycles == original.total_cycles
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(WorkloadError, match="format"):
+            workload_from_dict({"format": 99, "tasks": []})
+
+
+class TestResultSerialization:
+    @pytest.fixture()
+    def result(self):
+        machine = scaled_machine(NUMA_16, 4)
+        workload = generate_workload("Tree", scale=0.08)
+        return simulate(machine, MULTI_T_MV_LAZY, workload)
+
+    def test_to_dict_is_json_ready(self, result):
+        data = result_to_dict(result)
+        text = json.dumps(data)
+        assert "MultiT&MV Lazy AMM" in text
+        assert data["total_cycles"] == result.total_cycles
+        assert data["traffic"]["line_writebacks"] >= 0
+        assert "memory_image" not in data
+
+    def test_image_optional(self, result):
+        data = result_to_dict(result, include_image=True)
+        assert len(data["memory_image"]) == len(result.memory_image)
+
+    def test_summary_validation(self, result):
+        summary = result_summary_from_dict(result_to_dict(result))
+        assert summary["scheme"].name == "MultiT&MV Lazy AMM"
+        assert summary["total_cycles"] == result.total_cycles
+
+    def test_summary_rejects_unknown_category(self, result):
+        data = result_to_dict(result)
+        data["cycles_by_category"]["teleport"] = 1.0
+        with pytest.raises(WorkloadError, match="unknown cycle"):
+            result_summary_from_dict(data)
+
+    def test_save_result(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(result, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["workload"] == "Tree"
+
+
+class TestSvgRendering:
+    def test_well_formed_xml(self):
+        svg = render_grouped_bars_svg(
+            {"App": [SvgBar("a", 1.0, 0.5, "2.0"),
+                     SvgBar("b", 0.5, 0.8, "4.0")]},
+            title="test figure",
+        )
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        # Background + 2 segments per bar.
+        assert len(rects) >= 5
+
+    def test_bar_heights_proportional(self):
+        svg = render_grouped_bars_svg(
+            {"G": [SvgBar("tall", 2.0, 1.0), SvgBar("short", 1.0, 1.0)]},
+            title="heights",
+        )
+        root = ET.fromstring(svg)
+        heights = sorted(
+            float(e.get("height"))
+            for e in root.iter()
+            if e.tag.endswith("rect") and e.get("fill") == "#26547c"
+            and e.get("width") == "18"  # bars, not the legend swatch
+        )
+        assert heights[1] == pytest.approx(2 * heights[0], rel=1e-6)
+
+    def test_escaping(self):
+        svg = render_grouped_bars_svg(
+            {"<A&B>": [SvgBar("x<y>&", 1.0, 0.5)]}, title="T&T")
+        ET.fromstring(svg)  # must parse despite special characters
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SvgBar("bad", -1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            SvgBar("bad", 1.0, 1.5)
+        with pytest.raises(ConfigurationError):
+            render_grouped_bars_svg({}, title="empty")
+
+    def test_figure9_to_svg(self, tmp_path):
+        ctx = ExperimentContext(scale=0.05)
+        figure = run_figure9(ctx)
+        svg = scheme_bars_to_svg(figure)
+        root = ET.fromstring(svg)
+        texts = [e.text for e in root.iter() if e.tag.endswith("text")]
+        assert any("P3m" in (t or "") for t in texts)
+        path = tmp_path / "figure9.svg"
+        save_svg(svg, str(path))
+        assert path.read_text().startswith("<svg")

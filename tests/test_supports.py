@@ -1,0 +1,107 @@
+"""Unit tests for the Tables 1-2 support analysis (Section 3.3)."""
+
+from repro.core.supports import (
+    SUPPORT_DESCRIPTIONS,
+    Support,
+    UPGRADE_PATH,
+    complexity_score,
+    required_supports,
+    shaded_region_argument,
+)
+from repro.core.taxonomy import (
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_FMM,
+    MULTI_T_MV_FMM_SW,
+    MULTI_T_MV_LAZY,
+    MULTI_T_SV_EAGER,
+    MergePolicy,
+    SINGLE_T_EAGER,
+    SINGLE_T_LAZY,
+    Scheme,
+    TaskPolicy,
+)
+
+
+class TestRequiredSupports:
+    """The support sets asserted against the paper's Table 2."""
+
+    def test_singlet_eager_needs_nothing(self):
+        assert required_supports(SINGLE_T_EAGER) == frozenset()
+
+    def test_multit_sv_adds_ctid(self):
+        assert required_supports(MULTI_T_SV_EAGER) == {Support.CTID}
+
+    def test_multit_mv_adds_crl(self):
+        assert required_supports(MULTI_T_MV_EAGER) == {
+            Support.CTID, Support.CRL,
+        }
+
+    def test_singlet_lazy_needs_ctid_and_vcl(self):
+        assert required_supports(SINGLE_T_LAZY) == {
+            Support.CTID, Support.VCL,
+        }
+
+    def test_multit_mv_lazy(self):
+        assert required_supports(MULTI_T_MV_LAZY) == {
+            Support.CTID, Support.CRL, Support.VCL,
+        }
+
+    def test_fmm_needs_ctid_mtid_ulog(self):
+        assert required_supports(MULTI_T_MV_FMM) == {
+            Support.CTID, Support.CRL, Support.MTID, Support.ULOG,
+        }
+
+    def test_fmm_sw_drops_ulog_hardware(self):
+        supports = required_supports(MULTI_T_MV_FMM_SW)
+        assert Support.ULOG not in supports
+        assert Support.MTID in supports
+
+    def test_singlet_fmm_still_needs_ctid(self):
+        """Section 3.3.4: FMM needs task-ID tags even with one task."""
+        singlet_fmm = Scheme(TaskPolicy.SINGLE_T, MergePolicy.FMM)
+        assert Support.CTID in required_supports(singlet_fmm)
+
+
+class TestComplexityOrdering:
+    """Section 3.3.5's qualitative complexity claims."""
+
+    def test_multit_mv_eager_simpler_than_singlet_lazy(self):
+        assert (complexity_score(MULTI_T_MV_EAGER)
+                < complexity_score(SINGLE_T_LAZY))
+
+    def test_lazy_simpler_than_fmm(self):
+        assert (complexity_score(MULTI_T_MV_LAZY)
+                < complexity_score(MULTI_T_MV_FMM))
+
+    def test_upgrade_path_is_monotonic(self):
+        scores = [
+            complexity_score(SINGLE_T_EAGER),
+            complexity_score(MULTI_T_MV_EAGER),
+            complexity_score(MULTI_T_MV_LAZY),
+            complexity_score(MULTI_T_MV_FMM),
+        ]
+        assert scores == sorted(scores)
+        assert len(set(scores)) == len(scores)
+
+    def test_shaded_argument_mentions_crl_only(self):
+        text = shaded_region_argument()
+        assert "CRL" in text
+
+
+class TestTables:
+    def test_table1_covers_all_supports(self):
+        assert set(SUPPORT_DESCRIPTIONS) == set(Support)
+        for description in SUPPORT_DESCRIPTIONS.values():
+            assert description
+
+    def test_table2_rows(self):
+        assert len(UPGRADE_PATH) == 4
+        by_target = {u.upgrade_to: u for u in UPGRADE_PATH}
+        assert by_target["MultiT&SV"].added_supports == {Support.CTID}
+        assert by_target["MultiT&MV"].added_supports == {Support.CRL}
+        assert by_target["Lazy AMM"].added_supports == {
+            Support.CTID, Support.VCL,
+        }
+        assert by_target["FMM"].added_supports == {
+            Support.ULOG, Support.MTID,
+        }

@@ -1,0 +1,145 @@
+"""Unit tests for the taxonomy (Figure 2-(a), Figure 4, Figure 8)."""
+
+import pytest
+
+from repro.core.taxonomy import (
+    AMM_SCHEMES,
+    EVALUATED_SCHEMES,
+    LimitingCharacteristic,
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_FMM,
+    MULTI_T_MV_FMM_SW,
+    MULTI_T_MV_LAZY,
+    MULTI_T_SV_EAGER,
+    MergePolicy,
+    PRIOR_SCHEMES,
+    PriorScheme,
+    SINGLE_T_EAGER,
+    SINGLE_T_LAZY,
+    Scheme,
+    TaskPolicy,
+    limiting_characteristics,
+    scheme_from_name,
+)
+from repro.errors import ConfigurationError
+
+
+class TestScheme:
+    def test_names(self):
+        assert SINGLE_T_EAGER.name == "SingleT Eager AMM"
+        assert MULTI_T_MV_LAZY.name == "MultiT&MV Lazy AMM"
+        assert MULTI_T_MV_FMM.name == "MultiT&MV FMM"
+        assert MULTI_T_MV_FMM_SW.name == "MultiT&MV FMM.Sw"
+
+    def test_software_log_requires_fmm(self):
+        with pytest.raises(ConfigurationError):
+            Scheme(TaskPolicy.SINGLE_T, MergePolicy.EAGER_AMM,
+                   software_log=True)
+
+    def test_shaded_region(self):
+        """SingleT FMM and MultiT&SV FMM are the shaded boxes."""
+        assert Scheme(TaskPolicy.SINGLE_T, MergePolicy.FMM).is_shaded
+        assert Scheme(TaskPolicy.MULTI_T_SV, MergePolicy.FMM).is_shaded
+        assert not MULTI_T_MV_FMM.is_shaded
+        for scheme in EVALUATED_SCHEMES:
+            assert not scheme.is_shaded
+
+    def test_amm_property(self):
+        assert MergePolicy.EAGER_AMM.is_architectural
+        assert MergePolicy.LAZY_AMM.is_architectural
+        assert not MergePolicy.FMM.is_architectural
+
+    def test_evaluated_schemes_unique(self):
+        names = [s.name for s in EVALUATED_SCHEMES]
+        assert len(names) == len(set(names)) == 8
+
+    def test_amm_schemes_are_figure9_bars(self):
+        assert len(AMM_SCHEMES) == 6
+        assert all(s.merge_policy.is_architectural for s in AMM_SCHEMES)
+
+    def test_scheme_is_hashable_and_frozen(self):
+        assert len({SINGLE_T_EAGER, SINGLE_T_EAGER, SINGLE_T_LAZY}) == 2
+        with pytest.raises(AttributeError):
+            SINGLE_T_EAGER.software_log = True  # type: ignore[misc]
+
+
+class TestSchemeLookup:
+    def test_round_trip_all(self):
+        for scheme in EVALUATED_SCHEMES:
+            assert scheme_from_name(scheme.name) == scheme
+
+    def test_case_insensitive(self):
+        assert scheme_from_name("multit&mv fmm.sw") == MULTI_T_MV_FMM_SW
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown scheme"):
+            scheme_from_name("QuadT Hyper AMM")
+
+
+class TestPriorSchemes:
+    """Figure 4 mapping facts asserted from the paper."""
+
+    def _by_name(self, name: str) -> PriorScheme:
+        for prior in PRIOR_SCHEMES:
+            if prior.name == name:
+                return prior
+        raise AssertionError(f"missing prior scheme {name}")
+
+    def test_multiscalar_variants(self):
+        arb = self._by_name("Multiscalar (hierarchical ARB)")
+        svc = self._by_name("Multiscalar (SVC)")
+        assert arb.merge_policy is MergePolicy.EAGER_AMM
+        assert svc.merge_policy is MergePolicy.LAZY_AMM
+        assert arb.task_policy is svc.task_policy is TaskPolicy.SINGLE_T
+
+    def test_fmm_schemes(self):
+        for name in ("Zhang99&T", "Garzaran01"):
+            prior = self._by_name(name)
+            assert prior.merge_policy is MergePolicy.FMM
+            assert prior.task_policy is TaskPolicy.MULTI_T_MV
+
+    def test_prvulovic_is_multit_mv_lazy(self):
+        prior = self._by_name("Prvulovic01")
+        assert prior.task_policy is TaskPolicy.MULTI_T_MV
+        assert prior.merge_policy is MergePolicy.LAZY_AMM
+
+    def test_coarse_recovery_class(self):
+        for name in ("LRPD", "SUDS", "DDSM"):
+            assert self._by_name(name).is_coarse_recovery
+
+    def test_steffan_has_both_designs(self):
+        mv = self._by_name("Steffan97&00")
+        sv = self._by_name("Steffan97&00 (SV design)")
+        assert mv.task_policy is TaskPolicy.MULTI_T_MV
+        assert sv.task_policy is TaskPolicy.MULTI_T_SV
+
+
+class TestLimitingCharacteristics:
+    """Figure 8 facts."""
+
+    def test_singlet_eager(self):
+        limits = limiting_characteristics(SINGLE_T_EAGER)
+        assert LimitingCharacteristic.LOAD_IMBALANCE in limits
+        assert LimitingCharacteristic.COMMIT_WAVEFRONT in limits
+        assert LimitingCharacteristic.CACHE_OVERFLOW in limits
+        assert LimitingCharacteristic.FREQUENT_RECOVERIES not in limits
+
+    def test_multit_sv_keeps_priv_imbalance(self):
+        limits = limiting_characteristics(MULTI_T_SV_EAGER)
+        assert (LimitingCharacteristic.LOAD_IMBALANCE_WITH_PRIVATIZATION
+                in limits)
+        assert LimitingCharacteristic.LOAD_IMBALANCE not in limits
+
+    def test_multit_mv_lazy_only_overflow(self):
+        assert limiting_characteristics(MULTI_T_MV_LAZY) == frozenset(
+            {LimitingCharacteristic.CACHE_OVERFLOW}
+        )
+
+    def test_fmm_only_recoveries(self):
+        assert limiting_characteristics(MULTI_T_MV_FMM) == frozenset(
+            {LimitingCharacteristic.FREQUENT_RECOVERIES}
+        )
+
+    def test_eager_mv_exposes_wavefront(self):
+        limits = limiting_characteristics(MULTI_T_MV_EAGER)
+        assert LimitingCharacteristic.COMMIT_WAVEFRONT in limits

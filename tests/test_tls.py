@@ -1,0 +1,142 @@
+"""Unit tests for tasks, the scheduler, and the commit controller."""
+
+import pytest
+
+from repro.errors import ProtocolError, SimulationError, WorkloadError
+from repro.tls.commit import CommitController
+from repro.tls.scheduler import TaskScheduler
+from repro.tls.task import (
+    OP_COMPUTE,
+    OP_READ,
+    OP_WRITE,
+    TaskRun,
+    TaskSpec,
+    TaskState,
+)
+from tests.conftest import compute, make_task, read, write
+
+
+class TestTaskSpec:
+    def test_instruction_count(self):
+        task = make_task(0, compute(100), read(5), compute(50), write(6))
+        assert task.instructions == 150
+        assert task.memory_ops == 2
+
+    def test_word_sets(self):
+        task = make_task(0, write(5), write(21), read(7))
+        assert task.written_words() == {5, 21}
+        assert task.read_words() == {7}
+        assert task.written_lines() == {0, 1}
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_task(-1, compute(1))
+
+    def test_bad_op_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            TaskSpec(0, ((99, 5),))
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(WorkloadError):
+            TaskSpec(0, ((OP_COMPUTE, -5),))
+
+
+class TestTaskRun:
+    def test_lifecycle(self):
+        run = TaskRun(spec=make_task(3, compute(10), write(5)))
+        assert run.state is TaskState.PENDING
+        run.begin_attempt(proc_id=1, now=100.0)
+        assert run.state is TaskState.RUNNING
+        assert run.attempt == 1
+        run.record_write(5)
+        assert run.words_by_line == {0: {5}}
+
+    def test_squash_resets_attempt_state(self):
+        run = TaskRun(spec=make_task(3, write(5)))
+        run.begin_attempt(0, 0.0)
+        run.record_write(5)
+        run.read_words.add(9)
+        run.observed_reads[9] = -1
+        run.squash()
+        assert run.state is TaskState.PENDING
+        assert run.squashes == 1
+        assert run.words_by_line == {}
+        assert run.read_words == set()
+        assert run.observed_reads == {}
+        run.begin_attempt(2, 50.0)
+        assert run.attempt == 2
+        assert run.op_index == 0
+
+    def test_timing_properties(self):
+        run = TaskRun(spec=make_task(0, compute(1)))
+        run.start_time, run.finish_time = 10.0, 25.0
+        run.commit_start, run.commit_time = 30.0, 34.0
+        assert run.execution_cycles == 15.0
+        assert run.commit_cycles == 4.0
+
+
+class TestScheduler:
+    def _runs(self, n: int) -> dict[int, TaskRun]:
+        return {i: TaskRun(spec=make_task(i, compute(1))) for i in range(n)}
+
+    def test_claims_in_id_order(self):
+        scheduler = TaskScheduler(self._runs(4))
+        claimed = [scheduler.claim().task_id for _ in range(4)]
+        assert claimed == [0, 1, 2, 3]
+        assert scheduler.claim() is None
+        assert not scheduler.has_pending()
+
+    def test_release_reclaims_lowest_first(self):
+        scheduler = TaskScheduler(self._runs(4))
+        for _ in range(4):
+            scheduler.claim()
+        scheduler.release(2)
+        scheduler.release(1)
+        assert scheduler.claim().task_id == 1
+        assert scheduler.claim().task_id == 2
+
+    def test_release_unclaimed_raises(self):
+        scheduler = TaskScheduler(self._runs(2))
+        with pytest.raises(SimulationError):
+            scheduler.release(0)
+
+    def test_pending_count(self):
+        scheduler = TaskScheduler(self._runs(3))
+        assert scheduler.pending_count == 3
+        scheduler.claim()
+        assert scheduler.pending_count == 2
+
+
+class TestCommitController:
+    def test_strict_order(self):
+        commit = CommitController(3)
+        assert commit.can_commit(0)
+        assert not commit.can_commit(1)
+        commit.begin_commit(0, now=10.0)
+        assert not commit.token_free
+        with pytest.raises(ProtocolError):
+            commit.begin_commit(1, now=10.0)
+        commit.finish_commit(0, start=10.0, end=20.0)
+        assert commit.next_to_commit == 1
+        assert commit.can_commit(1)
+
+    def test_out_of_order_begin_rejected(self):
+        commit = CommitController(3)
+        with pytest.raises(ProtocolError):
+            commit.begin_commit(2, now=0.0)
+
+    def test_finish_wrong_task_rejected(self):
+        commit = CommitController(3)
+        commit.begin_commit(0, now=0.0)
+        with pytest.raises(ProtocolError):
+            commit.finish_commit(1, start=0.0, end=1.0)
+
+    def test_wavefront_and_token_hold(self):
+        commit = CommitController(2)
+        commit.begin_commit(0, now=0.0)
+        commit.finish_commit(0, start=0.0, end=5.0)
+        commit.begin_commit(1, now=7.0)
+        commit.finish_commit(1, start=7.0, end=9.0)
+        assert commit.all_committed
+        assert commit.stats.token_hold_cycles == 7.0
+        assert commit.stats.wavefront == [(0, 0.0, 5.0), (1, 7.0, 9.0)]

@@ -1,0 +1,124 @@
+"""Tests for the structured trace recorder and its protocol invariants."""
+
+import pytest
+
+from repro.core.config import NUMA_16, scaled_machine
+from repro.core.engine import Simulation
+from repro.core.taxonomy import (
+    MULTI_T_MV_EAGER,
+    MULTI_T_SV_EAGER,
+    SINGLE_T_EAGER,
+)
+from repro.core.trace import TraceEvent, TraceRecord, TraceRecorder
+from repro.workloads.apps import generate_workload
+from repro.workloads.base import DEP_BASE, PRIV_BASE
+from tests.conftest import compute, make_task, make_workload, read, write
+
+
+def traced_run(machine, scheme, workload, **kwargs):
+    trace = TraceRecorder()
+    result = Simulation(machine, scheme, workload, trace=trace,
+                        **kwargs).run()
+    return trace, result
+
+
+class TestRecorder:
+    def test_emit_and_filter(self):
+        trace = TraceRecorder()
+        trace.emit(TraceEvent.TASK_START, 1.0, task_id=3, proc_id=0)
+        trace.emit(TraceEvent.TASK_DONE, 5.0, task_id=3, proc_id=0)
+        trace.emit(TraceEvent.TASK_START, 2.0, task_id=4, proc_id=1)
+        assert trace.count(TraceEvent.TASK_START) == 2
+        assert len(trace.records(task_id=3)) == 2
+        assert trace.records(TraceEvent.TASK_DONE, task_id=3)[0].time == 5.0
+        assert len(trace) == 3
+        assert all(isinstance(r, TraceRecord) for r in trace)
+
+    def test_attempts_counts_restarts(self):
+        trace = TraceRecorder()
+        for _ in range(3):
+            trace.emit(TraceEvent.TASK_START, 0.0, task_id=7)
+        assert trace.attempts(7) == 3
+
+    def test_verify_rejects_commit_before_done(self):
+        trace = TraceRecorder()
+        trace.emit(TraceEvent.COMMIT_BEGIN, 1.0, task_id=0)
+        with pytest.raises(AssertionError, match="before finishing"):
+            trace.verify_protocol_order()
+
+    def test_verify_rejects_out_of_order_commits(self):
+        trace = TraceRecorder()
+        for tid in (1, 0):
+            trace.emit(TraceEvent.TASK_DONE, 1.0, task_id=tid)
+            trace.emit(TraceEvent.COMMIT_BEGIN, 2.0, task_id=tid)
+            trace.emit(TraceEvent.COMMIT_DONE, 3.0, task_id=tid)
+        with pytest.raises(AssertionError, match="out of task order"):
+            trace.verify_protocol_order()
+
+
+class TestEngineEmission:
+    def test_lifecycle_events_for_simple_run(self, quad_machine):
+        workload = make_workload(
+            "w", *[make_task(i, compute(500)) for i in range(6)])
+        trace, _result = traced_run(quad_machine, MULTI_T_MV_EAGER, workload)
+        trace.verify_protocol_order()
+        assert trace.count(TraceEvent.TASK_START) == 6
+        assert trace.count(TraceEvent.TASK_DONE) == 6
+        assert trace.commit_order() == list(range(6))
+        assert trace.count(TraceEvent.VIOLATION) == 0
+
+    def test_violation_and_reexecution_traced(self, tiny_machine):
+        workload = make_workload(
+            "dep",
+            make_task(0, compute(40_000), write(DEP_BASE), compute(100)),
+            make_task(1, compute(200), read(DEP_BASE), compute(20_000)),
+        )
+        trace, result = traced_run(tiny_machine, MULTI_T_MV_EAGER, workload)
+        trace.verify_protocol_order()
+        assert trace.count(TraceEvent.VIOLATION) == result.violation_events
+        assert trace.attempts(1) == 2  # original + re-execution
+        squashed = trace.records(TraceEvent.TASK_SQUASHED)
+        assert any(r.task_id == 1 for r in squashed)
+
+    def test_sv_stall_events_paired(self, tiny_machine):
+        x = PRIV_BASE
+        tasks = [make_task(0, compute(60_000))]
+        for tid in (1, 2):
+            tasks.append(make_task(tid, compute(500), write(x),
+                                   compute(3_000)))
+        workload = make_workload("sv", *tasks)
+        trace, _result = traced_run(tiny_machine, MULTI_T_SV_EAGER, workload)
+        stalls = trace.records(TraceEvent.SV_STALL)
+        resumes = trace.records(TraceEvent.SV_RESUME)
+        assert len(stalls) == len(resumes) >= 1
+        # The stall names its blocker; the resume names the same task.
+        assert stalls[0].detail == resumes[0].detail == 1
+        assert stalls[0].task_id == 2
+
+    def test_commit_token_never_overlaps(self, quad_machine):
+        """Between COMMIT_BEGIN and COMMIT_DONE no other commit begins."""
+        workload = generate_workload("Bdna", scale=0.1)
+        trace, _result = traced_run(quad_machine, SINGLE_T_EAGER, workload)
+        holding: int | None = None
+        for record in trace:
+            if record.event is TraceEvent.COMMIT_BEGIN:
+                assert holding is None
+                holding = record.task_id
+            elif record.event is TraceEvent.COMMIT_DONE:
+                assert holding == record.task_id
+                holding = None
+
+    def test_protocol_order_holds_on_squash_heavy_run(self, quad_machine):
+        workload = generate_workload("Euler", scale=0.25)
+        trace, result = traced_run(quad_machine, MULTI_T_MV_EAGER, workload)
+        trace.verify_protocol_order()
+        assert (trace.count(TraceEvent.TASK_SQUASHED)
+                == result.squashed_executions)
+        # Every task eventually committed exactly once.
+        assert trace.commit_order() == list(range(workload.n_tasks))
+
+    def test_no_trace_by_default(self, quad_machine):
+        workload = make_workload("w", make_task(0, compute(100)))
+        sim = Simulation(quad_machine, MULTI_T_MV_EAGER, workload)
+        sim.run()
+        assert sim.trace is None

@@ -1,0 +1,271 @@
+"""Unit tests for workload base types, patterns, and application profiles."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import WORDS_PER_LINE
+from repro.errors import WorkloadError
+from repro.tls.task import OP_COMPUTE, OP_READ, OP_WRITE
+from repro.workloads.apps import (
+    APPLICATION_ORDER,
+    APPLICATIONS,
+    generate_workload,
+)
+from repro.workloads.base import (
+    DEP_BASE,
+    OUTPUT_BASE,
+    PRIV_BASE,
+    Workload,
+    region_of,
+)
+from repro.workloads.patterns import (
+    ALIAS_STRIDE_LINES,
+    OpListBuilder,
+    aliased_shared_word,
+    dep_word,
+    output_word,
+    priv_word,
+)
+from tests.conftest import compute, make_task, make_workload, read, write
+
+
+class TestWorkloadValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError, match="no tasks"):
+            Workload(name="empty", tasks=())
+
+    def test_dense_ordered_ids_enforced(self):
+        with pytest.raises(WorkloadError, match="dense and ordered"):
+            make_workload("gap", make_task(0, compute(1)),
+                          make_task(2, compute(1)))
+
+    def test_priv_predicate(self):
+        workload = make_workload("w", make_task(0, compute(1)))
+        assert workload.is_priv(PRIV_BASE)
+        assert not workload.is_priv(PRIV_BASE - 1)
+        assert not workload.is_priv(OUTPUT_BASE)
+
+    def test_region_of(self):
+        assert region_of(0) == "shared-ro"
+        assert region_of(PRIV_BASE) == "priv"
+        assert region_of(OUTPUT_BASE) == "output"
+        assert region_of(DEP_BASE) == "dep"
+
+
+class TestSequentialSemantics:
+    def test_sequential_image_last_writer_wins(self):
+        workload = make_workload(
+            "w",
+            make_task(0, write(5), write(9)),
+            make_task(1, write(5)),
+        )
+        assert workload.sequential_image() == {5: 1, 9: 0}
+
+    def test_sequential_reads_program_order(self):
+        workload = make_workload(
+            "w",
+            make_task(0, read(5), write(5)),       # reads ARCH, then writes
+            make_task(1, read(5), write(5), read(5)),
+        )
+        expected = workload.sequential_reads()
+        assert expected[(0, 5)] == -1
+        assert expected[(1, 5)] == 0   # first read sees task 0's version
+        # Only the first read per (task, word) is recorded.
+        assert len([k for k in expected if k[0] == 1]) == 1
+
+    def test_read_your_writes_validator(self):
+        bad = make_workload(
+            "bad", make_task(0, read(PRIV_BASE), write(PRIV_BASE)))
+        with pytest.raises(WorkloadError, match="before writing"):
+            bad.validate_read_your_writes()
+        good = make_workload(
+            "good", make_task(0, write(PRIV_BASE), read(PRIV_BASE)))
+        good.validate_read_your_writes()
+
+
+class TestWorkloadStats:
+    def test_footprints(self):
+        workload = make_workload(
+            "w",
+            make_task(0, write(0), write(1), write(16)),
+            make_task(1, write(0)),
+        )
+        assert workload.written_footprint_words() == 2.0
+        assert workload.written_footprint_lines() == 1.5
+
+    def test_priv_write_fraction(self):
+        workload = make_workload(
+            "w", make_task(0, write(PRIV_BASE), write(0)))
+        assert workload.priv_write_fraction() == 0.5
+
+    def test_imbalance_cv_zero_for_equal_tasks(self):
+        workload = make_workload(
+            "w", make_task(0, compute(100)), make_task(1, compute(100)))
+        assert workload.imbalance_cv() == 0.0
+
+
+class TestOpListBuilder:
+    def test_instructions_conserved(self):
+        builder = OpListBuilder(instructions=1000)
+        builder.add(0.25, OP_WRITE, 5)
+        builder.add(0.75, OP_READ, 5)
+        ops = builder.build()
+        assert sum(v for k, v in ops if k == OP_COMPUTE) == 1000
+        kinds = [k for k, _ in ops]
+        assert kinds == [OP_COMPUTE, OP_WRITE, OP_COMPUTE, OP_READ,
+                         OP_COMPUTE]
+
+    def test_position_ordering(self):
+        builder = OpListBuilder(instructions=100)
+        builder.add(0.9, OP_READ, 2)
+        builder.add(0.1, OP_WRITE, 1)
+        ops = [op for op in builder.build() if op[0] != OP_COMPUTE]
+        assert ops == [(OP_WRITE, 1), (OP_READ, 2)]
+
+    def test_stable_order_at_same_position(self):
+        builder = OpListBuilder(instructions=10)
+        builder.add(0.5, OP_WRITE, 1)
+        builder.add(0.5, OP_READ, 1)
+        ops = [op for op in builder.build() if op[0] != OP_COMPUTE]
+        assert ops == [(OP_WRITE, 1), (OP_READ, 1)]
+
+    def test_bad_position_rejected(self):
+        builder = OpListBuilder(instructions=10)
+        with pytest.raises(WorkloadError):
+            builder.add(1.5, OP_READ, 1)
+
+    def test_compute_op_rejected_as_slot(self):
+        builder = OpListBuilder(instructions=10)
+        with pytest.raises(WorkloadError):
+            builder.add(0.5, OP_COMPUTE, 1)
+
+    @given(positions=st.lists(st.floats(0, 1), max_size=20),
+           instructions=st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_property_instructions_conserved(self, positions, instructions):
+        builder = OpListBuilder(instructions=instructions)
+        for i, pos in enumerate(positions):
+            builder.add(pos, OP_READ, i)
+        ops = builder.build()
+        assert sum(v for k, v in ops if k == OP_COMPUTE) == instructions
+        assert sum(1 for k, _ in ops if k == OP_READ) == len(positions)
+
+
+class TestPatternAddresses:
+    def test_regions_disjoint(self):
+        assert priv_word(0, 0) == PRIV_BASE
+        assert output_word(0, 0, 4) == OUTPUT_BASE
+        assert dep_word(0) == DEP_BASE
+        assert priv_word(1000, 15) < OUTPUT_BASE
+        assert output_word(500, 3, 40) < DEP_BASE
+
+    def test_output_blocks_disjoint_between_tasks(self):
+        stride = 5
+        a = {output_word(1, j, stride) for j in range(4)}
+        b = {output_word(2, j, stride) for j in range(4)}
+        assert not a & b
+
+    def test_aliasing_hits_priv_sets(self):
+        """Aliased shared lines map to the same sets as priv lines on any
+        cache whose set count divides the stride."""
+        import random
+
+        rng = random.Random(7)
+        for n_sets in (256, 1024, 2048):
+            assert ALIAS_STRIDE_LINES % n_sets == 0
+            span = 16
+            priv_sets = {(PRIV_BASE // WORDS_PER_LINE + k) & (n_sets - 1)
+                         for k in range(span)}
+            for _ in range(50):
+                word = aliased_shared_word(rng, n_alias_groups=2,
+                                           set_span=span)
+                line = word // WORDS_PER_LINE
+                assert (line & (n_sets - 1)) in priv_sets
+
+    def test_aliasing_spreads_on_big_l2(self):
+        """On the 16384-set Lazy.L2, aliased lines escape the priv sets."""
+        import random
+
+        rng = random.Random(7)
+        n_sets = 16384
+        span = 16
+        priv_sets = {(PRIV_BASE // WORDS_PER_LINE + k) & (n_sets - 1)
+                     for k in range(span)}
+        hits = sum(
+            ((aliased_shared_word(rng, 2, span) // WORDS_PER_LINE)
+             & (n_sets - 1)) in priv_sets
+            for _ in range(100)
+        )
+        assert hits < 100  # at least some lines land elsewhere
+
+
+class TestApplicationProfiles:
+    def test_all_apps_present(self):
+        assert set(APPLICATION_ORDER) == set(APPLICATIONS)
+        assert len(APPLICATION_ORDER) == 7
+
+    @pytest.mark.parametrize("app", APPLICATION_ORDER)
+    def test_generated_workload_valid(self, app):
+        workload = generate_workload(app, scale=0.1)
+        workload.validate_read_your_writes()
+        assert workload.n_tasks >= 8
+        assert workload.mean_instructions() > 0
+
+    def test_priv_fractions_match_pattern_classes(self):
+        priv = {app: generate_workload(app, scale=0.1).priv_write_fraction()
+                for app in APPLICATION_ORDER}
+        for app in ("Tree", "Bdna"):
+            assert priv[app] > 0.95
+        assert 0.4 < priv["Apsi"] < 0.8
+        assert priv["P3m"] > 0.7
+        for app in ("Track", "Dsmc3d", "Euler"):
+            assert priv[app] < 0.05
+
+    def test_scale_controls_task_count(self):
+        full = generate_workload("Tree")
+        small = generate_workload("Tree", scale=0.25)
+        assert small.n_tasks == round(full.n_tasks * 0.25)
+
+    def test_deterministic_per_seed(self):
+        a = generate_workload("Track", seed=3, scale=0.1)
+        b = generate_workload("Track", seed=3, scale=0.1)
+        c = generate_workload("Track", seed=4, scale=0.1)
+        assert a.tasks == b.tasks
+        assert a.tasks != c.tasks
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown application"):
+            generate_workload("Doom")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_workload("Tree", scale=0)
+
+    def test_dep_pairs_planted_for_euler(self):
+        workload = generate_workload("Euler", scale=0.5)
+        dep_reads = set()
+        dep_writes = set()
+        for task in workload.tasks:
+            for kind, value in task.ops:
+                if value >= DEP_BASE:
+                    (dep_reads if kind == OP_READ else dep_writes).add(value)
+        assert dep_reads and dep_reads == dep_writes
+
+    def test_p3m_has_giants(self):
+        workload = generate_workload("P3m", scale=0.5)
+        counts = sorted(t.instructions for t in workload.tasks)
+        assert counts[-1] > 8 * counts[len(counts) // 2]
+
+    def test_paper_reference_data_recorded(self):
+        for app in APPLICATION_ORDER:
+            paper = APPLICATIONS[app].paper
+            assert paper.commit_exec_numa_pct > 0
+            assert paper.written_footprint_kb > 0
+
+    def test_profile_validation(self):
+        from dataclasses import replace
+
+        profile = APPLICATIONS["Tree"]
+        with pytest.raises(WorkloadError):
+            replace(profile, priv_lines=10, priv_pool_lines=5)
