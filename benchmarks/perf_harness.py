@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Perf harness wrapper: ``python benchmarks/perf_harness.py [--smoke]``.
+
+Thin front-end over :mod:`repro.runner.bench` (the same harness exposed
+as ``repro-tls bench``): measures engine events/second and the canonical
+Figure-9 sweep wall-clock (serial cold, parallel cold, warm cache),
+probes cross-mode determinism, and writes ``BENCH_sweep.json``.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runner.bench import render_report, run_bench  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workloads; finishes in well under 30s")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: os.cpu_count())")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_sweep.json")
+    args = parser.parse_args()
+
+    report = run_bench(smoke=args.smoke, jobs=args.jobs, seed=args.seed,
+                       output=args.output)
+    print(render_report(report))
+    return 0 if report["determinism"]["bit_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

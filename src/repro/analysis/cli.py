@@ -1,11 +1,17 @@
-"""Command-line interface: ``repro-tls <experiment|run|list> [options]``.
+"""Command-line interface: ``repro-tls <experiment|run|bench|list>``.
 
 * ``repro-tls list`` — enumerate the available experiments.
 * ``repro-tls <experiment>`` — regenerate one of the paper's tables or
-  figures (``all`` runs every one).
+  figures (``all`` runs every one). ``--jobs N`` fans independent
+  simulations across N worker processes (default: all cores);
+  ``--no-cache`` disables the persistent result cache.
 * ``repro-tls run --app Apsi --scheme "MultiT&MV Lazy AMM"`` — one
   simulation with full control over machine, seed, scale, and the
   extension features (HLAP, ORB commits, bank contention).
+* ``repro-tls bench [--smoke]`` — the perf harness: engine events/sec,
+  Figure-9 sweep wall-clock (serial / parallel / warm cache), and a
+  cross-mode determinism probe; writes ``BENCH_sweep.json``. Exits
+  non-zero if determinism is violated.
 """
 
 from __future__ import annotations
@@ -24,6 +30,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--seed", type=int, default=0,
         help="workload generation seed (default 0)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for experiment sweeps "
+             "(default: os.cpu_count())",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent on-disk simulation result cache",
     )
 
 
@@ -65,6 +80,19 @@ def _run_single(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.runner.bench import render_report, run_bench
+
+    report = run_bench(smoke=args.smoke, jobs=args.jobs, seed=args.seed,
+                       output=args.bench_output)
+    print(render_report(report))
+    if not report["determinism"]["bit_identical"]:
+        print("FAIL: results differ across serial/pool/cache-replay",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-tls",
@@ -74,8 +102,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'run' for a single simulation, 'list', "
-             "or 'all'",
+        help="experiment name, 'run' for a single simulation, 'bench' "
+             "for the perf harness, 'list', or 'all'",
     )
     _add_common(parser)
     parser.add_argument("--app", default="Apsi",
@@ -93,15 +121,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="use ORB ownership-request eager commits")
     parser.add_argument("--bank-service", type=int, default=0,
                         help="memory-bank occupancy cycles (contention)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="for 'bench': small workloads, finishes "
+                             "in well under 30s")
+    parser.add_argument("--bench-output", default="BENCH_sweep.json",
+                        help="for 'bench': report path "
+                             "(default BENCH_sweep.json)")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
         print("run")
+        print("bench")
         return 0
     if args.experiment == "run":
         return _run_single(args)
+    if args.experiment == "bench":
+        return _run_bench(args)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -110,7 +147,8 @@ def main(argv: list[str] | None = None) -> int:
               f"try 'repro-tls list'", file=sys.stderr)
         return 2
 
-    ctx = ExperimentContext(scale=args.scale, seed=args.seed)
+    ctx = ExperimentContext(scale=args.scale, seed=args.seed,
+                            jobs=args.jobs, cache=not args.no_cache)
     for name in names:
         runner = EXPERIMENTS[name]
         try:

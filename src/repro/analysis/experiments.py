@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.baselines.sequential import SequentialResult, simulate_sequential
+from pathlib import Path
+
+from repro.baselines.sequential import SequentialResult
 from repro.core.config import (
     CMP_8,
     MachineConfig,
@@ -24,8 +26,8 @@ from repro.core.config import (
     NUMA_16_BIG_L2,
     scaled_machine,
 )
-from repro.core.engine import simulate
 from repro.core.results import SimulationResult
+from repro.runner import ResultCache, SimJob, SweepRunner, WorkloadSpec
 from repro.core.supports import (
     SUPPORT_DESCRIPTIONS,
     UPGRADE_PATH,
@@ -59,14 +61,34 @@ from repro.workloads.base import PRIV_BASE, Workload
 
 
 class ExperimentContext:
-    """Shared workload / simulation cache for composite experiments."""
+    """Shared workload / simulation cache for composite experiments.
 
-    def __init__(self, scale: float = 1.0, seed: int = 0) -> None:
+    Every simulation — TLS runs and sequential baselines alike — is
+    submitted through a :class:`~repro.runner.SweepRunner`, which dedupes
+    identical jobs, replays prior runs from the persistent on-disk result
+    cache, and fans cache misses out across a process pool. Figure entry
+    points batch their whole (scheme x app) grid through
+    :meth:`prefetch` so independent simulations run concurrently; the
+    in-memory memo then serves the per-cell lookups.
+    """
+
+    def __init__(self, scale: float = 1.0, seed: int = 0,
+                 jobs: int | None = None,
+                 cache: "bool | str | Path" = True,
+                 runner: SweepRunner | None = None) -> None:
         self.scale = scale
         self.seed = seed
+        if runner is None:
+            disk_cache = None
+            if cache:
+                disk_cache = ResultCache(
+                    cache if isinstance(cache, (str, Path)) else None)
+            runner = SweepRunner(jobs=jobs, cache=disk_cache)
+        self.runner = runner
         self._workloads: dict[str, Workload] = {}
-        self._seq: dict[tuple[str, str], SequentialResult] = {}
-        self._runs: dict[tuple[str, str, str], SimulationResult] = {}
+        #: In-memory memo keyed by the job's content address, so two
+        #: machines that happen to share a display name never collide.
+        self._results: dict[str, SimulationResult | SequentialResult] = {}
 
     def workload(self, app: str) -> Workload:
         if app not in self._workloads:
@@ -75,18 +97,51 @@ class ExperimentContext:
             )
         return self._workloads[app]
 
+    # ------------------------------------------------------------------
+    # Job plumbing
+    # ------------------------------------------------------------------
+    def _job(self, machine: MachineConfig, scheme: Scheme | None,
+             app: str) -> SimJob:
+        return SimJob(
+            machine=machine,
+            workload=WorkloadSpec(app, seed=self.seed, scale=self.scale),
+            scheme=scheme,
+        )
+
+    def submit(self, jobs: list[SimJob]) -> list:
+        """Run a batch of jobs through the runner, memoizing each result."""
+        missing = [j for j in jobs if j.cache_key() not in self._results]
+        if missing:
+            for job, result in zip(missing, self.runner.run_many(missing)):
+                self._results[job.cache_key()] = result
+        return [self._results[j.cache_key()] for j in jobs]
+
+    def prefetch(self, machine: MachineConfig, apps: tuple[str, ...],
+                 schemes: tuple[Scheme, ...],
+                 sequential: bool = True) -> None:
+        """Batch-submit a (scheme x app) grid so it executes in parallel.
+
+        The sequential baseline of each (machine, app) pair rides along
+        (``sequential=True``), so every figure shares one baseline run
+        per pair instead of recomputing it.
+        """
+        jobs = []
+        for app in apps:
+            if sequential:
+                jobs.append(self._job(machine, None, app))
+            for scheme in schemes:
+                jobs.append(self._job(machine, scheme, app))
+        self.submit(jobs)
+
+    # ------------------------------------------------------------------
+    # Single-result accessors (memo-backed)
+    # ------------------------------------------------------------------
     def sequential(self, machine: MachineConfig, app: str) -> SequentialResult:
-        key = (machine.name, app)
-        if key not in self._seq:
-            self._seq[key] = simulate_sequential(machine, self.workload(app))
-        return self._seq[key]
+        return self.submit([self._job(machine, None, app)])[0]
 
     def run(self, machine: MachineConfig, scheme: Scheme,
             app: str) -> SimulationResult:
-        key = (machine.name, scheme.name, app)
-        if key not in self._runs:
-            self._runs[key] = simulate(machine, scheme, self.workload(app))
-        return self._runs[key]
+        return self.submit([self._job(machine, scheme, app)])[0]
 
 
 # ======================================================================
@@ -110,6 +165,8 @@ class Figure1Result:
 def run_figure1(ctx: ExperimentContext | None = None) -> Figure1Result:
     """Measure the Figure 1-(a) characteristics on the NUMA machine."""
     ctx = ctx or ExperimentContext()
+    ctx.prefetch(NUMA_16, APPLICATION_ORDER, (MULTI_T_MV_EAGER,),
+                 sequential=False)
     rows = []
     for app in APPLICATION_ORDER:
         result = ctx.run(NUMA_16, MULTI_T_MV_EAGER, app)
@@ -220,13 +277,17 @@ class Figure5Result:
         return "\n".join(parts)
 
 
-def run_figure5() -> Figure5Result:
+def run_figure5(ctx: ExperimentContext | None = None) -> Figure5Result:
+    ctx = ctx or ExperimentContext()
     machine = scaled_machine(NUMA_16, 2)
     workload = _figure5_workload()
+    schemes = (SINGLE_T_EAGER, MULTI_T_SV_EAGER, MULTI_T_MV_EAGER)
+    results = ctx.submit(
+        [SimJob(machine=machine, workload=workload, scheme=s)
+         for s in schemes])
     timelines = {}
     totals = {}
-    for scheme in (SINGLE_T_EAGER, MULTI_T_SV_EAGER, MULTI_T_MV_EAGER):
-        result = simulate(machine, scheme, workload)
+    for scheme, result in zip(schemes, results):
         intervals = [
             (t.task_id, t.proc_id, t.start_time, t.finish_time,
              t.commit_start, t.commit_end)
@@ -268,13 +329,17 @@ class Figure6Result:
         return "\n".join(parts)
 
 
-def run_figure6() -> Figure6Result:
+def run_figure6(ctx: ExperimentContext | None = None) -> Figure6Result:
+    ctx = ctx or ExperimentContext()
     machine = scaled_machine(NUMA_16, 3)
     workload = _figure6_workload()
+    schemes = (MULTI_T_MV_EAGER, MULTI_T_MV_LAZY,
+               SINGLE_T_EAGER, SINGLE_T_LAZY)
+    results = ctx.submit(
+        [SimJob(machine=machine, workload=workload, scheme=s)
+         for s in schemes])
     timelines = {}
-    for scheme in (MULTI_T_MV_EAGER, MULTI_T_MV_LAZY,
-                   SINGLE_T_EAGER, SINGLE_T_LAZY):
-        result = simulate(machine, scheme, workload)
+    for scheme, result in zip(schemes, results):
         intervals = [
             (t.task_id, t.proc_id, t.start_time, t.finish_time,
              t.commit_start, t.commit_end)
@@ -327,6 +392,10 @@ class Table3Result:
 
 def run_table3(ctx: ExperimentContext | None = None) -> Table3Result:
     ctx = ctx or ExperimentContext()
+    ctx.prefetch(NUMA_16, APPLICATION_ORDER, (MULTI_T_MV_EAGER,),
+                 sequential=False)
+    ctx.prefetch(CMP_8, APPLICATION_ORDER, (MULTI_T_MV_EAGER,),
+                 sequential=False)
     rows = []
     for app in APPLICATION_ORDER:
         profile = APPLICATIONS[app]
@@ -394,6 +463,8 @@ class SchemeBarsResult:
 def _scheme_bars(ctx: ExperimentContext, machine: MachineConfig,
                  schemes: tuple[Scheme, ...], title: str,
                  reference: Scheme) -> SchemeBarsResult:
+    ctx.prefetch(machine, APPLICATION_ORDER, schemes + (reference,),
+                 sequential=True)
     cells: dict[str, dict[str, tuple[float, float, float]]] = {}
     sums = {s.name: 0.0 for s in schemes}
     for app in APPLICATION_ORDER:
@@ -481,7 +552,7 @@ def run_figure10(ctx: ExperimentContext | None = None) -> Figure10Result:
     for app in ("P3m",):
         seq = ctx.sequential(NUMA_16, app)
         ref = ctx.run(NUMA_16, MULTI_T_MV_EAGER, app)
-        big = simulate(NUMA_16_BIG_L2, MULTI_T_MV_LAZY, ctx.workload(app))
+        big = ctx.run(NUMA_16_BIG_L2, MULTI_T_MV_LAZY, app)
         lazy_l2[app] = (
             big.total_cycles / ref.total_cycles,
             big.busy_fraction(),
@@ -518,6 +589,8 @@ def run_summary(ctx: ExperimentContext | None = None) -> SummaryResult:
         ]
         return sum(gains) / len(gains)
 
+    ctx.prefetch(NUMA_16, APPLICATION_ORDER,
+                 (MULTI_T_MV_FMM, MULTI_T_MV_FMM_SW), sequential=False)
     fmm_sw_overhead = []
     for app in APPLICATION_ORDER:
         fmm = ctx.run(NUMA_16, MULTI_T_MV_FMM, app)
@@ -581,6 +654,7 @@ def run_breakdown(ctx: ExperimentContext | None = None,
     from repro.processor.processor import CycleCategory
 
     ctx = ctx or ExperimentContext()
+    ctx.prefetch(machine, APPLICATION_ORDER, AMM_SCHEMES, sequential=False)
     cells: dict[str, dict[str, dict[str, float]]] = {}
     for app in APPLICATION_ORDER:
         per_scheme = {}
@@ -628,6 +702,8 @@ TRAFFIC_SCHEMES = (MULTI_T_MV_EAGER, MULTI_T_MV_LAZY, MULTI_T_MV_FMM)
 def run_traffic(ctx: ExperimentContext | None = None,
                 machine: MachineConfig = NUMA_16) -> TrafficResult:
     ctx = ctx or ExperimentContext()
+    ctx.prefetch(machine, APPLICATION_ORDER, TRAFFIC_SCHEMES,
+                 sequential=False)
     rows = []
     for app in APPLICATION_ORDER:
         for scheme in TRAFFIC_SCHEMES:
@@ -684,13 +760,18 @@ def run_scalability(ctx: ExperimentContext | None = None,
                     proc_counts: tuple[int, ...] = (4, 8, 16, 32),
                     ) -> ScalabilityResult:
     ctx = ctx or ExperimentContext()
-    workload = ctx.workload(app)
+    machines = [scaled_machine(NUMA_16, n) for n in proc_counts]
+    jobs = []
+    for machine in machines:
+        jobs.append(ctx._job(machine, None, app))
+        jobs.extend(ctx._job(machine, scheme, app)
+                    for scheme in SCALABILITY_SCHEMES)
+    ctx.submit(jobs)
     curves: dict[str, list[float]] = {s.name: [] for s in SCALABILITY_SCHEMES}
-    for n_procs in proc_counts:
-        machine = scaled_machine(NUMA_16, n_procs)
-        sequential = simulate_sequential(machine, workload)
+    for machine in machines:
+        sequential = ctx.sequential(machine, app)
         for scheme in SCALABILITY_SCHEMES:
-            result = simulate(machine, scheme, workload)
+            result = ctx.run(machine, scheme, app)
             curves[scheme.name].append(
                 result.speedup_over(sequential.total_cycles))
     return ScalabilityResult(app=app, proc_counts=tuple(proc_counts),

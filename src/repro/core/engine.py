@@ -31,7 +31,8 @@ violations — is preserved to memory-latency resolution.
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+import time
+from typing import Any, Callable
 
 from repro.core.config import MachineConfig
 from repro.core.results import SimulationResult, TaskTiming, TrafficStats
@@ -55,6 +56,12 @@ from repro.tls.versions import VersionDirectory
 from repro.workloads.base import Workload
 
 _MAX_EVENTS_DEFAULT = 50_000_000
+
+#: Version tag of the engine's timing model. Bump whenever a change alters
+#: simulated timing or statistics: the on-disk result cache
+#: (:mod:`repro.runner.cache`) keys every entry on this tag, so stale
+#: results from an older engine are never replayed as current ones.
+ENGINE_VERSION = "2"
 
 
 class Simulation:
@@ -110,16 +117,33 @@ class Simulation:
             mtid_enabled=scheme.merge_policy is MergePolicy.FMM
         )
 
-        # Event queue: (time, seq, callback).
-        self._events: list[tuple[float, int, Callable[[float], None]]] = []
+        # Event queue: (time, seq, bound method, args). The callback is
+        # stored unwrapped with its arguments so the hot loop never
+        # allocates a closure per event.
+        self._events: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._seq = 0
         self._events_processed = 0
+        self._wall_clock_seconds = 0.0
         self.now = 0.0
         self._finished = False
         self.total_cycles = 0.0
 
         # Per-home-node memory bank occupancy (contention model).
         self._bank_free = [0.0] * machine.n_procs
+        self._n_procs = machine.n_procs
+        # Precomputed node-to-node latency tables: the mesh hop computation
+        # costs a topology lookup plus coordinate math per access, and the
+        # hot fetch paths ask for the same (requester, node) pairs millions
+        # of times per run.
+        n = machine.n_procs
+        self._mem_lat = [
+            [float(machine.memory_latency(r, h)) for h in range(n)]
+            for r in range(n)
+        ]
+        self._remote_lat = [
+            [float(machine.remote_cache_latency(r, o)) for o in range(n)]
+            for r in range(n)
+        ]
         # CMP shared L3: lines that have been brought on-package.
         self._l3_lines: set[int] | None = (
             set() if machine.lat_l3 is not None else None
@@ -145,30 +169,42 @@ class Simulation:
     # ==================================================================
     # Event queue plumbing
     # ==================================================================
-    def _schedule(self, when: float, fn: Callable[[float], None]) -> None:
+    def _schedule(self, when: float, fn: Callable[..., None],
+                  args: tuple = ()) -> None:
+        """Queue ``fn(*args, when)`` to run at simulated time ``when``."""
         if when < self.now - 1e-9:
             raise SimulationError(f"scheduling into the past: {when} < {self.now}")
         self._seq += 1
-        heapq.heappush(self._events, (when, self._seq, fn))
+        heapq.heappush(self._events, (when, self._seq, fn, args))
 
     def run(self) -> SimulationResult:
         """Execute the workload to completion and return the result."""
+        started = time.perf_counter()
         for proc in self.procs:
             self._claim(proc, 0.0)
-        while not self._finished:
-            if not self._events:
-                raise SimulationError(
-                    f"event queue empty before completion "
-                    f"(committed {self.commit.next_to_commit}/{self.commit.n_tasks})"
-                )
-            when, _seq, fn = heapq.heappop(self._events)
-            self.now = when
-            self._events_processed += 1
-            if self._events_processed > self.max_events:
-                raise SimulationError(
-                    f"exceeded {self.max_events} events; likely livelock"
-                )
-            fn(when)
+        # Hot loop: bind everything it touches to locals once.
+        events = self._events
+        heappop = heapq.heappop
+        max_events = self.max_events
+        processed = self._events_processed
+        try:
+            while not self._finished:
+                if not events:
+                    raise SimulationError(
+                        f"event queue empty before completion "
+                        f"(committed {self.commit.next_to_commit}/{self.commit.n_tasks})"
+                    )
+                when, _seq, fn, args = heappop(events)
+                self.now = when
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"exceeded {self.max_events} events; likely livelock"
+                    )
+                fn(*args, when)
+        finally:
+            self._events_processed = processed
+            self._wall_clock_seconds = time.perf_counter() - started
         return self._build_result()
 
     # ==================================================================
@@ -235,13 +271,10 @@ class Simulation:
 
     def _schedule_op_done(self, proc: Processor, run: TaskRun, now: float,
                           *, busy: float, mem: float) -> None:
-        epoch = proc.epoch
-        attempt = run.attempt
         self._inflight[proc.proc_id] = (now, busy, mem)
         self._schedule(
-            now + busy + mem,
-            lambda t, p=proc, e=epoch, r=run, a=attempt, b=busy, m=mem:
-            self._op_done(p, e, r, a, b, m, t),
+            now + busy + mem, self._op_done,
+            (proc, proc.epoch, run, run.attempt, busy, mem),
         )
 
     def _op_done(
@@ -341,7 +374,7 @@ class Simulation:
         elif proc.overflow.fetch(line, tid):
             # Refetch the task's own overflowed version.
             home = self.machine.home_node(line)
-            latency = (self.machine.memory_latency(proc.proc_id, home)
+            latency = (self._mem_lat[proc.proc_id][home]
                        + self.costs.overflow_penalty)
             self._install_both(proc, line, tid, dirty=True, now=now)
         else:
@@ -471,9 +504,7 @@ class Simulation:
             owner = self.procs[owner_id]
             entry = owner.l2.find(line, producer) or owner.l1.find(line, producer)
             if entry is not None:
-                lat = float(
-                    self.machine.remote_cache_latency(proc.proc_id, owner_id)
-                )
+                lat = self._remote_lat[proc.proc_id][owner_id]
                 self.traffic.remote_cache_fetches += 1
                 if (self.scheme.task_policy is TaskPolicy.MULTI_T_MV
                         and len(owner.l2.entries(line)) > 1):
@@ -483,10 +514,8 @@ class Simulation:
                     lat += self.costs.vcl_combine
                 return lat, committed
             if owner.overflow.holds(line, producer):
-                lat = float(
-                    self.machine.memory_latency(proc.proc_id, owner_id)
-                    + self.costs.overflow_penalty
-                )
+                lat = (self._mem_lat[proc.proc_id][owner_id]
+                       + self.costs.overflow_penalty)
                 self.traffic.overflow_fetches += 1
                 return lat, committed
         # Fallback: the version has been merged into (or displaced to)
@@ -496,15 +525,13 @@ class Simulation:
     def _arch_fetch_latency(self, proc: Processor, line: int) -> float:
         """Latency of a fetch served by main memory (or the CMP's L3)."""
         self.traffic.memory_fetches += 1
-        home = self.machine.home_node(line)
+        home = line % self._n_procs
         if self._l3_lines is not None:
             if line in self._l3_lines:
                 return float(self.machine.lat_l3 or 0) + self._bank_wait(home)
             self._l3_lines.add(line)
-            return (float(self.machine.memory_latency(proc.proc_id, 0))
-                    + self._bank_wait(home))
-        return (float(self.machine.memory_latency(proc.proc_id, home))
-                + self._bank_wait(home))
+            return self._mem_lat[proc.proc_id][0] + self._bank_wait(home)
+        return self._mem_lat[proc.proc_id][home] + self._bank_wait(home)
 
     def _bank_wait(self, home: int) -> float:
         """Queuing delay at the home node's memory/directory bank.
@@ -683,10 +710,7 @@ class Simulation:
         duration = float(self.costs.token_pass)
         if self.scheme.merge_policy is MergePolicy.EAGER_AMM:
             duration += self._eager_merge_cost(run)
-        self._schedule(
-            now + duration,
-            lambda t, r=run, s=now: self._commit_done(r, s, t),
-        )
+        self._schedule(now + duration, self._commit_done, (run, now))
 
     def _eager_merge_cost(self, run: TaskRun) -> float:
         proc = self.procs[run.proc_id]
@@ -810,10 +834,7 @@ class Simulation:
                 self._idle_procs.discard(proc_id)
                 proc.unpark(now)
                 proc.park(now, CycleCategory.RECOVERY)
-                self._schedule(
-                    resume_at,
-                    lambda t, p=proc: self._resume_after_recovery(p, t),
-                )
+                self._schedule(resume_at, self._resume_after_recovery, (proc,))
         self._schedule(resume_at, self._wake_idle)
 
     def _amm_recover(self, victims: list[TaskRun]) -> float:
@@ -877,7 +898,7 @@ class Simulation:
             proc.current = None
             proc.epoch += 1
             proc.park(now, CycleCategory.RECOVERY)
-            self._schedule(resume_at, lambda t, p=proc: self._resume_after_recovery(p, t))
+            self._schedule(resume_at, self._resume_after_recovery, (proc,))
             return
         if proc.parked and proc.parked_category is CycleCategory.COMMIT_STALL:
             # SingleT waiter whose done (speculative) task was squashed:
@@ -887,10 +908,7 @@ class Simulation:
                 proc.unpark(now)
                 proc.epoch += 1
                 proc.park(now, CycleCategory.RECOVERY)
-                self._schedule(
-                    resume_at,
-                    lambda t, p=proc: self._resume_after_recovery(p, t),
-                )
+                self._schedule(resume_at, self._resume_after_recovery, (proc,))
             return
         if (proc.parked and proc.parked_category is CycleCategory.SV_STALL
                 and proc.sv_blocker in victim_ids):
@@ -899,10 +917,8 @@ class Simulation:
             proc.unpark(now)
             run = proc.current
             proc.park(now, CycleCategory.RECOVERY)
-            self._schedule(
-                resume_at,
-                lambda t, p=proc, r=run: self._resume_sv_after_recovery(p, r, t),
-            )
+            self._schedule(resume_at, self._resume_sv_after_recovery,
+                           (proc, run))
 
     def _resume_after_recovery(self, proc: Processor, now: float) -> None:
         if proc.parked and proc.parked_category is CycleCategory.RECOVERY:
@@ -1078,6 +1094,8 @@ class Simulation:
                 p.l2.stats.speculative_displacements for p in self.procs
             ),
             traffic=self.traffic,
+            events_processed=self._events_processed,
+            wall_clock_seconds=self._wall_clock_seconds,
         )
 
 

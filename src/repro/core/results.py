@@ -104,6 +104,13 @@ class SimulationResult:
     l2_speculative_displacements: int = 0
     #: Protocol message counts (see :class:`TrafficStats`).
     traffic: TrafficStats = field(default_factory=TrafficStats)
+    #: Engine self-reported throughput: discrete events processed and the
+    #: host wall-clock seconds the run took. ``wall_clock_seconds`` is a
+    #: measurement of the *host*, not of the simulated machine — it varies
+    #: run to run and is excluded from the deterministic serialized form
+    #: (see :func:`repro.analysis.serialization.canonical_result_bytes`).
+    events_processed: int = 0
+    wall_clock_seconds: float = 0.0
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -145,6 +152,12 @@ class SimulationResult:
     def normalized_to(self, reference: "SimulationResult") -> float:
         """Execution time normalized to a reference run (Figure 9 bars)."""
         return self.total_cycles / reference.total_cycles
+
+    def events_per_second(self) -> float:
+        """Host-side engine throughput of the run (0 when not measured)."""
+        if self.wall_clock_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.wall_clock_seconds
 
     def summary(self) -> str:
         """One-line human-readable summary."""

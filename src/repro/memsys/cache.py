@@ -27,7 +27,7 @@ from repro.errors import SimulationError
 ARCH_TASK_ID = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One resident line version.
 

@@ -11,7 +11,6 @@ task/version-support stalls, commit waits, recovery, and end-of-loop idle.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 
 from repro.core.config import MachineConfig
 from repro.errors import SimulationError
@@ -49,30 +48,45 @@ STALL_CATEGORIES = (
     CycleCategory.IDLE,
 )
 
+#: Dense per-member index: :meth:`CycleAccount.add` runs twice per engine
+#: event, and indexing a list by a plain int attribute is markedly cheaper
+#: than hashing the enum member into a dict on every charge.
+for _index, _category in enumerate(CycleCategory):
+    _category.index = _index
+_N_CATEGORIES = len(CycleCategory)
+_STALL_INDICES = tuple(c.index for c in STALL_CATEGORIES)
 
-@dataclass
+
 class CycleAccount:
     """Cycle accounting for one processor."""
 
-    by_category: dict[CycleCategory, float] = field(
-        default_factory=lambda: {c: 0.0 for c in CycleCategory}
-    )
+    __slots__ = ("_cycles",)
+
+    def __init__(self) -> None:
+        self._cycles = [0.0] * _N_CATEGORIES
+
+    @property
+    def by_category(self) -> dict[CycleCategory, float]:
+        """Cycles per category, keyed by the enum (built on demand)."""
+        cycles = self._cycles
+        return {c: cycles[c.index] for c in CycleCategory}
 
     def add(self, category: CycleCategory, cycles: float) -> None:
         if cycles < 0:
             raise SimulationError(
                 f"negative cycle charge {cycles} for {category}"
             )
-        self.by_category[category] += cycles
+        self._cycles[category.index] += cycles
 
     def total(self) -> float:
-        return sum(self.by_category.values())
+        return sum(self._cycles)
 
     def busy(self) -> float:
-        return self.by_category[CycleCategory.BUSY]
+        return self._cycles[CycleCategory.BUSY.index]
 
     def stall(self) -> float:
-        return sum(self.by_category[c] for c in STALL_CATEGORIES)
+        cycles = self._cycles
+        return sum(cycles[i] for i in _STALL_INDICES)
 
 
 class Processor:

@@ -1,0 +1,37 @@
+"""Sweep/runner subsystem: parallel execution + persistent result cache.
+
+``SweepRunner`` fans (machine x scheme x workload x seed) simulation
+grids out across a process pool and backs every run with a
+content-addressed on-disk cache, so repeated figure and ablation runs
+replay prior simulations instead of recomputing them. See
+:mod:`repro.runner.runner` for the determinism contract.
+"""
+
+from repro.runner.cache import (
+    CACHE_ENV_VAR,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    default_cache_root,
+)
+from repro.runner.jobs import SimJob, WorkloadSpec
+from repro.runner.runner import (
+    SweepRunner,
+    default_jobs,
+    execute_job,
+    payload_from_result,
+    result_from_payload,
+)
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "SimJob",
+    "SweepRunner",
+    "WorkloadSpec",
+    "default_cache_root",
+    "default_jobs",
+    "execute_job",
+    "payload_from_result",
+    "result_from_payload",
+]

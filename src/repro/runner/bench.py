@@ -1,0 +1,226 @@
+"""Performance harness: engine microbenchmark + Figure-9 sweep bench.
+
+Two measurements, reported together in ``BENCH_sweep.json``:
+
+* **engine** — raw event-processing throughput (events/second) of the
+  simulation engine on a canonical (app x scheme) grid, compared against
+  the pre-optimization seed baseline measured on the same container
+  (:data:`SEED_EVENTS_PER_SECOND`).
+* **sweep** — wall-clock seconds for the canonical Figure-9 sweep
+  (7 apps x 6 AMM schemes + sequential baselines on CC-NUMA-16), run
+  three ways: serial with no cache, through the parallel runner with a
+  cold cache, and again with the warm cache (pure replay). The seed
+  baseline for the serial sweep is :data:`SEED_SWEEP_SECONDS`.
+
+A determinism probe rides along: one job executed serially, through the
+process pool, and replayed from the cache must produce bit-identical
+canonical serializations (see
+:func:`repro.analysis.serialization.canonical_result_bytes`); the CI
+smoke run fails if it does not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.runner.runner import default_jobs
+
+#: Wall-clock seconds of the canonical Figure-9 sweep (scale=1.0,
+#: seed=0, serial, no cache) measured on the pre-optimization seed
+#: engine in this container. Reference point for the >=2x target.
+SEED_SWEEP_SECONDS = 30.80
+#: Events/second of the engine microbench on the pre-optimization seed
+#: engine in this container. Reference point for the >=1.15x target.
+SEED_EVENTS_PER_SECOND = 37_246.0
+
+#: Canonical engine-microbench grid (a subset keeps the bench short
+#: while covering eager/lazy merging and AMM/FMM buffering).
+ENGINE_BENCH_APPS = ("Apsi", "Euler", "Track")
+
+
+def _engine_bench_schemes():
+    from repro.core.taxonomy import (
+        MULTI_T_MV_EAGER,
+        MULTI_T_MV_FMM,
+        MULTI_T_MV_LAZY,
+        SINGLE_T_EAGER,
+    )
+
+    return (SINGLE_T_EAGER, MULTI_T_MV_EAGER, MULTI_T_MV_LAZY,
+            MULTI_T_MV_FMM)
+
+
+def run_engine_bench(scale: float = 1.0, seed: int = 0,
+                     apps: tuple[str, ...] = ENGINE_BENCH_APPS,
+                     ) -> dict[str, Any]:
+    """Measure raw engine throughput (events/second), serial, no cache."""
+    from repro.core.config import NUMA_16
+    from repro.core.engine import Simulation
+    from repro.workloads.apps import APPLICATIONS
+
+    schemes = _engine_bench_schemes()
+    events = 0
+    started = time.perf_counter()
+    for app in apps:
+        workload = APPLICATIONS[app].generate(seed=seed, scale=scale)
+        for scheme in schemes:
+            result = Simulation(NUMA_16, scheme, workload).run()
+            events += result.events_processed
+    elapsed = time.perf_counter() - started
+    eps = events / elapsed if elapsed > 0 else 0.0
+    report: dict[str, Any] = {
+        "apps": list(apps),
+        "schemes": [s.name for s in schemes],
+        "scale": scale,
+        "events": events,
+        "seconds": round(elapsed, 3),
+        "events_per_second": round(eps, 1),
+    }
+    if scale == 1.0 and apps == ENGINE_BENCH_APPS:
+        report["seed_events_per_second"] = SEED_EVENTS_PER_SECOND
+        report["speedup_vs_seed"] = round(eps / SEED_EVENTS_PER_SECOND, 3)
+    return report
+
+
+def _figure9_sweep(scale: float, seed: int, jobs: int,
+                   cache_dir: str | None) -> float:
+    """One full Figure-9 sweep; returns wall-clock seconds."""
+    from repro.analysis.experiments import ExperimentContext, run_figure9
+
+    ctx = ExperimentContext(
+        scale=scale, seed=seed, jobs=jobs,
+        cache=cache_dir if cache_dir is not None else False,
+    )
+    started = time.perf_counter()
+    run_figure9(ctx)
+    return time.perf_counter() - started
+
+
+def run_sweep_bench(scale: float = 1.0, seed: int = 0,
+                    jobs: int | None = None) -> dict[str, Any]:
+    """Figure-9 sweep wall-clock: serial / parallel cold / warm cache."""
+    jobs = jobs if jobs is not None else default_jobs()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        serial_cold = _figure9_sweep(scale, seed, 1, None)
+        parallel_cold = _figure9_sweep(scale, seed, jobs, tmp)
+        warm_cache = _figure9_sweep(scale, seed, jobs, tmp)
+    report: dict[str, Any] = {
+        "scale": scale,
+        "jobs": jobs,
+        "serial_cold_seconds": round(serial_cold, 3),
+        "parallel_cold_seconds": round(parallel_cold, 3),
+        "warm_cache_seconds": round(warm_cache, 3),
+    }
+    if scale == 1.0:
+        report["seed_serial_seconds"] = SEED_SWEEP_SECONDS
+        report["speedup_serial_vs_seed"] = round(
+            SEED_SWEEP_SECONDS / serial_cold, 2)
+        report["speedup_parallel_vs_seed"] = round(
+            SEED_SWEEP_SECONDS / parallel_cold, 2)
+        report["speedup_warm_vs_seed"] = round(
+            SEED_SWEEP_SECONDS / warm_cache, 2)
+    return report
+
+
+def check_determinism(scale: float = 0.25, seed: int = 0) -> dict[str, Any]:
+    """Serial, pooled, and cache-replayed runs must be bit-identical."""
+    from repro.analysis.serialization import canonical_result_bytes
+    from repro.core.config import NUMA_16
+    from repro.core.taxonomy import MULTI_T_MV_EAGER, MULTI_T_MV_LAZY
+    from repro.runner.cache import ResultCache
+    from repro.runner.jobs import SimJob, WorkloadSpec
+    from repro.runner.runner import SweepRunner
+
+    job = SimJob(
+        machine=NUMA_16,
+        workload=WorkloadSpec("Euler", seed=seed, scale=scale),
+        scheme=MULTI_T_MV_LAZY,
+    )
+    sibling = SimJob(
+        machine=NUMA_16,
+        workload=WorkloadSpec("Euler", seed=seed, scale=scale),
+        scheme=MULTI_T_MV_EAGER,
+    )
+    serial = SweepRunner(jobs=1, cache=None).run(job)
+    # Two distinct pending jobs force the process-pool path.
+    pooled = SweepRunner(jobs=2, cache=None).run_many([job, sibling])[0]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        cache = ResultCache(tmp)
+        SweepRunner(jobs=1, cache=cache).run(job)
+        replayed = SweepRunner(jobs=1, cache=cache).run(job)
+    reference = canonical_result_bytes(serial)
+    return {
+        "job": job.describe(),
+        "serial_vs_pool": canonical_result_bytes(pooled) == reference,
+        "serial_vs_cache_replay":
+            canonical_result_bytes(replayed) == reference,
+        "bit_identical":
+            canonical_result_bytes(pooled) == reference
+            and canonical_result_bytes(replayed) == reference,
+    }
+
+
+def run_bench(smoke: bool = False, jobs: int | None = None,
+              seed: int = 0,
+              output: str | Path | None = "BENCH_sweep.json",
+              ) -> dict[str, Any]:
+    """Full perf harness; writes the JSON report to ``output``.
+
+    ``smoke=True`` shrinks the workloads (scale 0.1) so the whole run —
+    engine bench, three sweeps, determinism probe — finishes in well
+    under 30 seconds; the numbers are then only sanity checks, not
+    comparable to the seed baselines.
+    """
+    scale = 0.1 if smoke else 1.0
+    report: dict[str, Any] = {
+        "benchmark": "tls-buffering perf harness",
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "engine": run_engine_bench(scale=scale, seed=seed),
+        "sweep": run_sweep_bench(scale=scale, seed=seed, jobs=jobs),
+        "determinism": check_determinism(
+            scale=0.1 if smoke else 0.25, seed=seed),
+    }
+    if output is not None:
+        path = Path(output)
+        path.write_text(json.dumps(report, indent=2) + "\n")
+        report["output"] = str(path)
+    return report
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """Human-readable summary of a :func:`run_bench` report."""
+    engine = report["engine"]
+    sweep = report["sweep"]
+    det = report["determinism"]
+    lines = [
+        f"perf harness ({'smoke' if report['smoke'] else 'full'}; "
+        f"{report['cpu_count']} CPUs)",
+        f"  engine : {engine['events']:>9,} events in "
+        f"{engine['seconds']:7.2f}s = "
+        f"{engine['events_per_second']:>9,.0f} ev/s"
+        + (f" ({engine['speedup_vs_seed']:.2f}x vs seed)"
+           if "speedup_vs_seed" in engine else ""),
+        f"  sweep  : serial cold {sweep['serial_cold_seconds']:7.2f}s | "
+        f"parallel({sweep['jobs']}) cold "
+        f"{sweep['parallel_cold_seconds']:7.2f}s | "
+        f"warm cache {sweep['warm_cache_seconds']:7.2f}s",
+    ]
+    if "speedup_warm_vs_seed" in sweep:
+        lines.append(
+            f"           vs seed {sweep['seed_serial_seconds']:.2f}s: "
+            f"serial {sweep['speedup_serial_vs_seed']:.2f}x, "
+            f"parallel {sweep['speedup_parallel_vs_seed']:.2f}x, "
+            f"warm {sweep['speedup_warm_vs_seed']:.2f}x")
+    lines.append(
+        "  determinism: "
+        + ("bit-identical across serial/pool/cache-replay"
+           if det["bit_identical"] else "MISMATCH (regression!)"))
+    if "output" in report:
+        lines.append(f"  report written to {report['output']}")
+    return "\n".join(lines)

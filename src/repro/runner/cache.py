@@ -1,0 +1,98 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Entries are keyed by the SHA-256 digest of the job's canonical identity
+(machine config + scheme + workload fingerprint + engine options +
+:data:`~repro.core.engine.ENGINE_VERSION`) and hold the *full* JSON
+serialization of the result, so a cache replay reconstructs the exact
+:class:`~repro.core.results.SimulationResult` the original run produced.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent sweep
+workers and unrelated processes can share one cache directory safely;
+a corrupt or truncated entry is treated as a miss and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+#: Environment variable overriding the default cache location.
+CACHE_ENV_VAR = "REPRO_TLS_CACHE"
+#: Default cache directory (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_root() -> Path:
+    """The cache directory honoring :data:`CACHE_ENV_VAR`."""
+    return Path(os.environ.get(CACHE_ENV_VAR, DEFAULT_CACHE_DIR))
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """A directory of content-addressed JSON result payloads."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        """Entry path, sharded by the first key byte to keep dirs small."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> dict[str, Any] | None:
+        """The stored payload for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def store(self, key: str, payload: dict[str, Any]) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self.root.glob("??/*.json")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,114 @@
+"""Simulation jobs: self-contained, hashable descriptions of one run.
+
+A :class:`SimJob` carries everything needed to execute one simulation —
+the machine, the scheme (or ``None`` for the sequential baseline), the
+workload (either a regenerable :class:`WorkloadSpec` or an explicit
+:class:`~repro.workloads.base.Workload`), and the engine options. Jobs
+are picklable, so the sweep runner can ship them to worker processes,
+and they serialize to a canonical JSON form whose SHA-256 digest is the
+content address of the result in the on-disk cache.
+
+The cache key includes :data:`repro.core.engine.ENGINE_VERSION`, so
+results produced by an older timing model are never replayed as current.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+from typing import Any
+
+from repro.core.config import MachineConfig
+from repro.core.engine import ENGINE_VERSION
+from repro.core.taxonomy import Scheme
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A regenerable reference to a synthetic application workload.
+
+    Carries generator *parameters* instead of the generated task list, so
+    jobs stay tiny when crossing process boundaries; generation is
+    deterministic in (app, seed, scale, invocations, iterations_per_task).
+    """
+
+    app: str
+    seed: int = 0
+    scale: float = 1.0
+    invocations: int = 1
+    iterations_per_task: float = 1.0
+
+    def generate(self) -> Workload:
+        from repro.workloads.apps import APPLICATIONS
+
+        return APPLICATIONS[self.app].generate(
+            seed=self.seed, scale=self.scale, invocations=self.invocations,
+            iterations_per_task=self.iterations_per_task,
+        )
+
+
+@lru_cache(maxsize=64)
+def _generate_cached(spec: WorkloadSpec) -> Workload:
+    """Process-local memo: six schemes of one app share one generation."""
+    return spec.generate()
+
+
+def _workload_fingerprint(workload: WorkloadSpec | Workload) -> dict[str, Any]:
+    """Canonical JSON-ready identity of the job's workload."""
+    if isinstance(workload, WorkloadSpec):
+        return {"kind": "spec", **asdict(workload)}
+    from repro.analysis.serialization import workload_to_dict
+
+    return {"kind": "explicit", **workload_to_dict(workload)}
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation to execute: (machine x scheme x workload x options).
+
+    ``scheme=None`` requests the sequential baseline instead of a TLS
+    simulation; the engine options are then ignored.
+    """
+
+    machine: MachineConfig
+    workload: WorkloadSpec | Workload
+    scheme: Scheme | None = None
+    high_level_patterns: bool = False
+    violation_granularity: str = "word"
+
+    def resolve_workload(self) -> Workload:
+        if isinstance(self.workload, WorkloadSpec):
+            return _generate_cached(self.workload)
+        return self.workload
+
+    @property
+    def workload_name(self) -> str:
+        if isinstance(self.workload, WorkloadSpec):
+            return self.workload.app
+        return self.workload.name
+
+    def describe(self) -> str:
+        scheme = self.scheme.name if self.scheme else "sequential"
+        return f"{self.machine.name} / {scheme} / {self.workload_name}"
+
+    # ------------------------------------------------------------------
+    # Content addressing
+    # ------------------------------------------------------------------
+    def identity(self) -> dict[str, Any]:
+        """The canonical JSON-ready identity hashed into the cache key."""
+        return {
+            "engine_version": ENGINE_VERSION,
+            "machine": asdict(self.machine),
+            "scheme": self.scheme.name if self.scheme else None,
+            "workload": _workload_fingerprint(self.workload),
+            "high_level_patterns": self.high_level_patterns,
+            "violation_granularity": self.violation_granularity,
+        }
+
+    def cache_key(self) -> str:
+        """SHA-256 content address of this job's result."""
+        blob = json.dumps(self.identity(), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()

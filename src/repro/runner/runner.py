@@ -1,0 +1,147 @@
+"""Parallel sweep execution over (machine x scheme x workload) grids.
+
+:class:`SweepRunner` is the single funnel every experiment submits
+simulations through. It
+
+* consults the content-addressed :class:`~repro.runner.cache.ResultCache`
+  first, replaying prior runs of the same job instead of re-simulating;
+* fans cache misses out across a :class:`concurrent.futures.\
+ProcessPoolExecutor` (``jobs`` workers, default ``os.cpu_count()``), and
+* reconstructs every pooled or replayed result through the same full
+  JSON serialization, so a result is bit-identical (see
+  :func:`~repro.analysis.serialization.canonical_result_bytes`) whether
+  it was computed serially, in a worker process, or read back from disk.
+
+Determinism: a job fully determines its simulation — workload generation
+is seeded, and the engine itself is sequential per run — so the
+execution mode can never change a result, only how fast it arrives.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Sequence
+
+from repro.baselines.sequential import SequentialResult, simulate_sequential
+from repro.core.engine import Simulation
+from repro.core.results import SimulationResult
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import SimJob
+
+
+def execute_job(job: SimJob) -> SimulationResult | SequentialResult:
+    """Run one job in the current process and return its live result."""
+    workload = job.resolve_workload()
+    if job.scheme is None:
+        return simulate_sequential(job.machine, workload)
+    return Simulation(
+        job.machine, job.scheme, workload,
+        high_level_patterns=job.high_level_patterns,
+        violation_granularity=job.violation_granularity,
+    ).run()
+
+
+def payload_from_result(
+    result: SimulationResult | SequentialResult,
+) -> dict[str, Any]:
+    """The full JSON payload stored in the cache / returned by workers."""
+    from repro.analysis.serialization import (
+        result_to_dict,
+        sequential_result_to_dict,
+    )
+
+    if isinstance(result, SequentialResult):
+        return sequential_result_to_dict(result)
+    return result_to_dict(result, full=True)
+
+
+def result_from_payload(
+    payload: dict[str, Any],
+) -> SimulationResult | SequentialResult:
+    """Rebuild the result a worker or cache entry serialized."""
+    from repro.analysis.serialization import (
+        result_from_dict,
+        sequential_result_from_dict,
+    )
+
+    if payload.get("kind") == "sequential":
+        return sequential_result_from_dict(payload)
+    return result_from_dict(payload)
+
+
+def _worker(job: SimJob) -> tuple[str, dict[str, Any]]:
+    """Pool entry point: execute and return (cache key, payload)."""
+    return job.cache_key(), payload_from_result(execute_job(job))
+
+
+def default_jobs() -> int:
+    """Default worker count: every core the container grants us."""
+    return os.cpu_count() or 1
+
+
+class SweepRunner:
+    """Cache-backed, optionally parallel executor of simulation jobs."""
+
+    def __init__(self, jobs: int | None = None,
+                 cache: ResultCache | None = None) -> None:
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            self.jobs = 1
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    def run(self, job: SimJob) -> SimulationResult | SequentialResult:
+        """Execute (or replay) one job."""
+        return self.run_many([job])[0]
+
+    def run_many(
+        self, jobs: Sequence[SimJob],
+    ) -> list[SimulationResult | SequentialResult]:
+        """Execute a batch of jobs, returning results in input order.
+
+        Duplicate jobs (same cache key) are computed once. Cache hits are
+        replayed from disk; misses run in a process pool when more than
+        one distinct job is pending and ``jobs > 1``, else serially in
+        this process. Every freshly computed result is stored back to the
+        cache (when one is configured).
+        """
+        by_key: dict[str, SimulationResult | SequentialResult] = {}
+        keys = [job.cache_key() for job in jobs]
+        pending: list[tuple[str, SimJob]] = []
+        seen: set[str] = set()
+        for key, job in zip(keys, jobs):
+            if key in seen:
+                continue
+            seen.add(key)
+            payload = self.cache.load(key) if self.cache is not None else None
+            if payload is not None:
+                by_key[key] = result_from_payload(payload)
+            else:
+                pending.append((key, job))
+
+        if pending:
+            for key, payload in self._compute(pending):
+                if self.cache is not None:
+                    self.cache.store(key, payload)
+                    self.cache.stats.stores += 1
+                by_key[key] = result_from_payload(payload)
+
+        return [by_key[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    def _compute(
+        self, pending: list[tuple[str, SimJob]],
+    ) -> list[tuple[str, dict[str, Any]]]:
+        if self.jobs > 1 and len(pending) > 1:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(pending))
+                ) as pool:
+                    return list(pool.map(_worker, [j for _k, j in pending]))
+            except (OSError, ImportError):
+                # Pool creation can fail in constrained sandboxes
+                # (no /dev/shm, fork limits); fall back to serial.
+                pass
+        return [(key, payload_from_result(execute_job(job)))
+                for key, job in pending]

@@ -78,7 +78,7 @@ class TaskState(enum.Enum):
         return self.value
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskRun:
     """Dynamic state of a task across its execution attempts."""
 

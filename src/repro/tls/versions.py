@@ -22,7 +22,7 @@ from repro.errors import ProtocolError
 from repro.memsys.cache import ARCH_TASK_ID
 
 
-@dataclass
+@dataclass(slots=True)
 class _WordState:
     """Versions and speculative readers of one word."""
 
@@ -85,10 +85,14 @@ class VersionDirectory:
             return
         if version_seen != ARCH_TASK_ID:
             self.stats.forwarded_reads += 1
-        state = self._state(word_addr)
-        previous = state.readers.get(reader)
+        state = self._words.get(word_addr)
+        if state is None:
+            state = _WordState()
+            self._words[word_addr] = state
+        readers = state.readers
+        previous = readers.get(reader)
         if previous is None or version_seen < previous:
-            state.readers[reader] = version_seen
+            readers[reader] = version_seen
 
     # ------------------------------------------------------------------
     # Writes
@@ -101,11 +105,24 @@ class VersionDirectory:
         earliest violated reader and its successors.
         """
         self.stats.writes += 1
-        state = self._state(word_addr)
-        idx = bisect_right(state.producers, producer)
-        if idx == 0 or state.producers[idx - 1] != producer:
-            insort(state.producers, producer)
-        violated = self.violated_readers(word_addr, producer)
+        state = self._words.get(word_addr)
+        if state is None:
+            state = _WordState()
+            self._words[word_addr] = state
+        producers = state.producers
+        idx = bisect_right(producers, producer)
+        if idx == 0 or producers[idx - 1] != producer:
+            insort(producers, producer)
+        # Inline violated_readers: the state is already in hand, so the
+        # hot path does a single dict lookup per write.
+        readers = state.readers
+        if not readers:
+            return []
+        violated = sorted(
+            reader
+            for reader, seen in readers.items()
+            if reader > producer and seen < producer
+        )
         if violated:
             self.stats.violations += 1
         return violated

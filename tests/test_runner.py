@@ -1,0 +1,183 @@
+"""Sweep runner + result cache: determinism, dedup, content addressing.
+
+The contract under test (see ``repro.runner.runner``): the execution
+mode — serial in-process, fanned out over a process pool, or replayed
+from the on-disk cache — can never change a result. ``canonical_result_
+bytes`` (the full serialization minus the host-measured wall clock) is
+the equality we hold all modes to, bit for bit.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.serialization import canonical_result_bytes
+from repro.baselines.sequential import SequentialResult
+from repro.core.config import CMP_8, NUMA_16, NUMA_16_BIG_L2
+from repro.core.results import SimulationResult
+from repro.core.taxonomy import (
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_LAZY,
+    SINGLE_T_EAGER,
+)
+from repro.runner import (
+    ResultCache,
+    SimJob,
+    SweepRunner,
+    WorkloadSpec,
+    execute_job,
+)
+
+SCALE = 0.15  # keeps each simulation fast while exercising every path
+
+
+def _job(app="Euler", scheme=MULTI_T_MV_LAZY, machine=NUMA_16, seed=0):
+    return SimJob(
+        machine=machine,
+        workload=WorkloadSpec(app, seed=seed, scale=SCALE),
+        scheme=scheme,
+    )
+
+
+# ----------------------------------------------------------------------
+# Content addressing
+# ----------------------------------------------------------------------
+def test_cache_key_is_stable_and_distinguishes_jobs():
+    a = _job()
+    assert a.cache_key() == _job().cache_key()
+    assert a.cache_key() != _job(scheme=MULTI_T_MV_EAGER).cache_key()
+    assert a.cache_key() != _job(app="Apsi").cache_key()
+    assert a.cache_key() != _job(seed=1).cache_key()
+    assert a.cache_key() != _job(machine=CMP_8).cache_key()
+    # Sequential baseline is its own job.
+    assert a.cache_key() != _job(scheme=None).cache_key()
+
+
+def test_cache_key_separates_machines_sharing_a_display_name():
+    # NUMA_16 and NUMA_16_BIG_L2 are both named "CC-NUMA-16"; the key
+    # hashes the full config, so they must never collide.
+    assert NUMA_16.name == NUMA_16_BIG_L2.name
+    assert (_job(machine=NUMA_16).cache_key()
+            != _job(machine=NUMA_16_BIG_L2).cache_key())
+
+
+def test_cache_key_includes_engine_version(monkeypatch):
+    import repro.runner.jobs as jobs_mod
+
+    before = _job().cache_key()
+    monkeypatch.setattr(jobs_mod, "ENGINE_VERSION", "test-bump")
+    assert _job().cache_key() != before
+
+
+# ----------------------------------------------------------------------
+# Determinism across execution modes
+# ----------------------------------------------------------------------
+def test_serial_pool_and_cache_replay_are_bit_identical(tmp_path):
+    job = _job()
+    sibling = _job(scheme=MULTI_T_MV_EAGER)
+
+    serial = SweepRunner(jobs=1, cache=None).run(job)
+    # Two pending jobs + jobs>1 forces the ProcessPoolExecutor path.
+    pooled = SweepRunner(jobs=2, cache=None).run_many([job, sibling])[0]
+
+    cache = ResultCache(tmp_path / "cache")
+    SweepRunner(jobs=1, cache=cache).run(job)  # populate
+    fresh = SweepRunner(jobs=1, cache=ResultCache(tmp_path / "cache"))
+    replayed = fresh.run(job)
+    assert fresh.cache.stats.hits == 1
+
+    reference = canonical_result_bytes(serial)
+    assert canonical_result_bytes(pooled) == reference
+    assert canonical_result_bytes(replayed) == reference
+    assert isinstance(replayed, SimulationResult)
+    assert replayed.total_cycles == serial.total_cycles
+    assert replayed.cycles_by_category == serial.cycles_by_category
+    assert replayed.task_timings == serial.task_timings
+    assert replayed.memory_image == serial.memory_image
+
+
+def test_sequential_baseline_round_trips_through_pool_and_cache(tmp_path):
+    job = _job(scheme=None)
+    other = _job(app="Apsi", scheme=None)
+    serial = execute_job(job)
+    assert isinstance(serial, SequentialResult)
+
+    pooled = SweepRunner(jobs=2, cache=None).run_many([job, other])[0]
+    cache = ResultCache(tmp_path)
+    SweepRunner(jobs=1, cache=cache).run(job)
+    replayed = SweepRunner(jobs=1, cache=cache).run(job)
+
+    for result in (pooled, replayed):
+        assert isinstance(result, SequentialResult)
+        assert result == serial  # frozen dataclass: full value equality
+
+
+def test_wall_clock_is_measured_but_excluded_from_canonical_form():
+    result = execute_job(_job())
+    assert result.wall_clock_seconds > 0
+    assert result.events_processed > 0
+    assert result.events_per_second() > 0
+    payload = json.loads(canonical_result_bytes(result))
+    assert "wall_clock_seconds" not in payload
+    assert payload["events_processed"] == result.events_processed
+
+
+# ----------------------------------------------------------------------
+# Dedup and cache behavior
+# ----------------------------------------------------------------------
+def test_run_many_dedupes_identical_jobs(tmp_path):
+    cache = ResultCache(tmp_path)
+    runner = SweepRunner(jobs=1, cache=cache)
+    job = _job()
+    results = runner.run_many([job, _job(), job])
+    assert len(results) == 3
+    assert len(cache) == 1  # computed (and stored) exactly once
+    b0 = canonical_result_bytes(results[0])
+    assert canonical_result_bytes(results[1]) == b0
+    assert canonical_result_bytes(results[2]) == b0
+
+
+def test_figures_share_one_sequential_baseline(tmp_path):
+    from repro.analysis.experiments import ExperimentContext
+
+    ctx = ExperimentContext(scale=SCALE, jobs=1, cache=tmp_path / "c")
+    apps = ("Euler",)
+    ctx.prefetch(NUMA_16, apps, (SINGLE_T_EAGER,), sequential=True)
+    stores_after_first = ctx.runner.cache.stats.stores
+    # A second figure over the same (machine, app) pair: baseline and
+    # scheme runs come from the memo, nothing is recomputed or restored.
+    ctx.prefetch(NUMA_16, apps, (SINGLE_T_EAGER,), sequential=True)
+    ctx.sequential(NUMA_16, "Euler")
+    assert ctx.runner.cache.stats.stores == stores_after_first == 2
+
+
+def test_corrupt_cache_entry_is_a_miss_and_recomputed(tmp_path):
+    cache = ResultCache(tmp_path)
+    job = _job()
+    runner = SweepRunner(jobs=1, cache=cache)
+    first = runner.run(job)
+    path = cache.path_for(job.cache_key())
+    path.write_text("{ truncated")
+    again = SweepRunner(jobs=1, cache=ResultCache(tmp_path)).run(job)
+    assert canonical_result_bytes(again) == canonical_result_bytes(first)
+    # The recomputed result was stored back over the corrupt entry.
+    assert json.loads(path.read_text())["total_cycles"] > 0
+
+
+def test_no_cache_runner_recomputes():
+    runner = SweepRunner(jobs=1, cache=None)
+    job = _job()
+    a = runner.run(job)
+    b = runner.run(job)
+    assert canonical_result_bytes(a) == canonical_result_bytes(b)
+
+
+def test_experiment_context_no_cache_mode(tmp_path, monkeypatch):
+    from repro.analysis.experiments import ExperimentContext
+
+    monkeypatch.chdir(tmp_path)  # any default cache dir would land here
+    ctx = ExperimentContext(scale=SCALE, jobs=1, cache=False)
+    assert ctx.runner.cache is None
+    result = ctx.run(NUMA_16, MULTI_T_MV_LAZY, "Euler")
+    assert result.total_cycles > 0
+    assert not (tmp_path / ".repro-cache").exists()
