@@ -12,6 +12,11 @@
   Figure-9 sweep wall-clock (serial / parallel / warm cache), and a
   cross-mode determinism probe; writes ``BENCH_sweep.json``. Exits
   non-zero if determinism is violated.
+* ``repro-tls validate [--smoke]`` — the conformance oracle: runs each
+  workload under every evaluated taxonomy point with the runtime
+  invariant checker attached and asserts the schemes agree on final
+  memory state, committed dataflow, and timing-independent violation
+  facts. Exits non-zero on any invariant violation or divergence.
 """
 
 from __future__ import annotations
@@ -93,6 +98,38 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_validate(args: argparse.Namespace) -> int:
+    from repro.core.config import MACHINES
+    from repro.core.taxonomy import EVALUATED_SCHEMES
+    from repro.runner import SweepRunner, WorkloadSpec
+    from repro.validate import render_conformance_report, run_conformance
+    from repro.workloads.apps import APPLICATIONS
+
+    if args.smoke:
+        apps = ["Euler", "Apsi"]
+        scale = 0.1
+    else:
+        apps = ([a.strip() for a in args.apps.split(",") if a.strip()]
+                if args.apps else list(APPLICATIONS))
+        scale = args.scale
+    unknown = [a for a in apps if a not in APPLICATIONS]
+    if unknown:
+        print(f"unknown application(s): {', '.join(unknown)}; "
+              f"known: {', '.join(APPLICATIONS)}", file=sys.stderr)
+        return 2
+
+    specs = [WorkloadSpec(app=app, seed=args.seed, scale=scale)
+             for app in apps]
+    # Cache-less on purpose: the oracle must re-verify, not replay.
+    runner = SweepRunner(jobs=args.jobs, cache=None)
+    report = run_conformance(
+        MACHINES[args.machine], specs, EVALUATED_SCHEMES,
+        runner=runner, check_invariants=not args.no_invariants,
+    )
+    print(render_conformance_report(report))
+    return 0 if report.passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-tls",
@@ -103,7 +140,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment name, 'run' for a single simulation, 'bench' "
-             "for the perf harness, 'list', or 'all'",
+             "for the perf harness, 'validate' for the conformance "
+             "oracle, 'list', or 'all'",
     )
     _add_common(parser)
     parser.add_argument("--app", default="Apsi",
@@ -122,8 +160,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--bank-service", type=int, default=0,
                         help="memory-bank occupancy cycles (contention)")
     parser.add_argument("--smoke", action="store_true",
-                        help="for 'bench': small workloads, finishes "
-                             "in well under 30s")
+                        help="for 'bench'/'validate': small workloads, "
+                             "finishes in well under 30s")
+    parser.add_argument("--apps", default=None, metavar="A,B,...",
+                        help="for 'validate': comma-separated applications "
+                             "(default: all)")
+    parser.add_argument("--no-invariants", action="store_true",
+                        help="for 'validate': skip the runtime invariant "
+                             "checker, run the differential oracle only")
     parser.add_argument("--bench-output", default="BENCH_sweep.json",
                         help="for 'bench': report path "
                              "(default BENCH_sweep.json)")
@@ -134,11 +178,14 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         print("run")
         print("bench")
+        print("validate")
         return 0
     if args.experiment == "run":
         return _run_single(args)
     if args.experiment == "bench":
         return _run_bench(args)
+    if args.experiment == "validate":
+        return _run_validate(args)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in EXPERIMENTS]

@@ -51,6 +51,7 @@ from repro.tls.task import (
     TaskRun,
     TaskState,
 )
+from repro.core.hooks import SimulationHook
 from repro.core.trace import TraceEvent, TraceRecorder
 from repro.tls.versions import VersionDirectory
 from repro.workloads.base import Workload
@@ -77,6 +78,7 @@ class Simulation:
         high_level_patterns: bool = False,
         violation_granularity: str = "word",
         trace: "TraceRecorder | None" = None,
+        hook: "SimulationHook | None" = None,
         max_events: int = _MAX_EVENTS_DEFAULT,
     ) -> None:
         if scheme.is_shaded and not allow_shaded:
@@ -96,6 +98,9 @@ class Simulation:
         self.high_level_patterns = high_level_patterns
         #: Optional structured event trace (see repro.core.trace).
         self.trace = trace
+        #: Optional observation hook (see repro.core.hooks). ``None`` keeps
+        #: the event loop free of any per-event work beyond one branch.
+        self.hook = hook
         if violation_granularity not in ("word", "line"):
             raise ConfigurationError(
                 f"violation_granularity must be 'word' or 'line', got "
@@ -166,6 +171,11 @@ class Simulation:
         self._footprint_priv_words = 0
         self._footprint_total_words = 0
 
+    @property
+    def finished(self) -> bool:
+        """True once the last task committed and accounting was closed."""
+        return self._finished
+
     # ==================================================================
     # Event queue plumbing
     # ==================================================================
@@ -187,6 +197,9 @@ class Simulation:
         heappop = heapq.heappop
         max_events = self.max_events
         processed = self._events_processed
+        hook = self.hook
+        if hook is not None:
+            hook.on_start(self)
         try:
             while not self._finished:
                 if not events:
@@ -202,10 +215,15 @@ class Simulation:
                         f"exceeded {self.max_events} events; likely livelock"
                     )
                 fn(*args, when)
+                if hook is not None:
+                    hook.after_event(self, when)
         finally:
             self._events_processed = processed
             self._wall_clock_seconds = time.perf_counter() - started
-        return self._build_result()
+        result = self._build_result()
+        if hook is not None:
+            hook.on_finish(self, result)
+        return result
 
     # ==================================================================
     # Task claiming and op processing

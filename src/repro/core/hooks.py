@@ -1,0 +1,63 @@
+"""Observation hooks on the simulation engine.
+
+A :class:`SimulationHook` passed to :class:`~repro.core.engine.Simulation`
+is called around the event loop: once before the first event, after every
+processed event, and once when the run completes. The engine guards every
+call site with a single ``hook is not None`` branch, so a run without a
+hook pays one predictable branch per event and nothing else — the hot
+loop stays allocation-free.
+
+Hooks are *observers*: they may read any engine state but must not mutate
+it, schedule events, or otherwise perturb the simulated machine. The
+validation subsystem (:mod:`repro.validate`) relies on this contract to
+guarantee that a checked run produces bit-identical results to an
+unchecked one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.engine import Simulation
+    from repro.core.results import SimulationResult
+
+
+class SimulationHook:
+    """Base class / interface for engine observation hooks.
+
+    Subclasses override any subset of the three callbacks; the defaults
+    do nothing, so a hook only pays for what it watches.
+    """
+
+    def on_start(self, sim: "Simulation") -> None:
+        """Called once, after processors claimed their first tasks but
+        before the first event is popped."""
+
+    def after_event(self, sim: "Simulation", now: float) -> None:
+        """Called after each event callback has fully executed.
+
+        ``now`` is the simulated time of the event just processed.
+        """
+
+    def on_finish(self, sim: "Simulation", result: "SimulationResult") -> None:
+        """Called once, after the run completed and the result was built."""
+
+
+class CompositeHook(SimulationHook):
+    """Fan one engine hook slot out to several hooks, in order."""
+
+    def __init__(self, hooks: tuple[SimulationHook, ...]) -> None:
+        self.hooks = tuple(hooks)
+
+    def on_start(self, sim: "Simulation") -> None:
+        for hook in self.hooks:
+            hook.on_start(sim)
+
+    def after_event(self, sim: "Simulation", now: float) -> None:
+        for hook in self.hooks:
+            hook.after_event(sim, now)
+
+    def on_finish(self, sim: "Simulation", result: "SimulationResult") -> None:
+        for hook in self.hooks:
+            hook.on_finish(sim, result)

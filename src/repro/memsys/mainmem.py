@@ -81,6 +81,14 @@ class MainMemory:
             else:
                 self._words[word_addr] = producer
 
+    def items(self):
+        """Read-only view of the word -> producer map.
+
+        Unlike :meth:`image` this does not copy, so the invariant checker
+        can sweep memory after every event without allocation.
+        """
+        return self._words.items()
+
     def image(self) -> dict[int, int]:
         """A copy of the full word → producer image (for invariant checks)."""
         return dict(self._words)

@@ -75,6 +75,12 @@ class OverflowArea:
             del self._lines[key]
         return [line for line, _task in keys]
 
+    def items(self) -> list[tuple[int, int, bool]]:
+        """Every resident version as ``(line, task, committed)`` triples
+        (read-only snapshot for the invariant checker)."""
+        return [(line, task, committed)
+                for (line, task), committed in self._lines.items()]
+
     def committed_lines(self) -> list[tuple[int, int]]:
         """(line, task) pairs still awaiting a lazy merge."""
         return [k for k, committed in self._lines.items() if committed]

@@ -105,6 +105,10 @@ class UndoLog:
             self.stats.restores += len(mine)
         return list(reversed(mine))
 
+    def entries(self) -> tuple[LogEntry, ...]:
+        """All live entries in append order (read-only snapshot)."""
+        return tuple(self._entries)
+
     def entries_of(self, task_id: int) -> list[LogEntry]:
         return [e for e in self._entries if e.overwriting_task == task_id]
 

@@ -78,6 +78,12 @@ class SimJob:
     scheme: Scheme | None = None
     high_level_patterns: bool = False
     violation_granularity: str = "word"
+    #: Attach the runtime :class:`~repro.validate.invariants.\
+    #: InvariantChecker` to the simulation. The checker is a pure observer
+    #: (results are bit-identical either way) but it is part of the cache
+    #: identity anyway: a checked run *proves* its invariants held, and a
+    #: replayed unchecked result must never masquerade as that proof.
+    check_invariants: bool = False
 
     def resolve_workload(self) -> Workload:
         if isinstance(self.workload, WorkloadSpec):
@@ -106,6 +112,7 @@ class SimJob:
             "workload": _workload_fingerprint(self.workload),
             "high_level_patterns": self.high_level_patterns,
             "violation_granularity": self.violation_granularity,
+            "check_invariants": self.check_invariants,
         }
 
     def cache_key(self) -> str:

@@ -35,10 +35,18 @@ def execute_job(job: SimJob) -> SimulationResult | SequentialResult:
     workload = job.resolve_workload()
     if job.scheme is None:
         return simulate_sequential(job.machine, workload)
+    hook = None
+    if job.check_invariants:
+        # Imported lazily: repro.validate depends on repro.runner for the
+        # conformance oracle's fan-out.
+        from repro.validate.invariants import InvariantChecker
+
+        hook = InvariantChecker()
     return Simulation(
         job.machine, job.scheme, workload,
         high_level_patterns=job.high_level_patterns,
         violation_granularity=job.violation_granularity,
+        hook=hook,
     ).run()
 
 

@@ -36,6 +36,11 @@ class CommitController:
     def token_free(self) -> bool:
         return self._in_flight is None
 
+    @property
+    def in_flight(self) -> int | None:
+        """Task currently holding the commit token (invariant checks)."""
+        return self._in_flight
+
     def can_commit(self, task_id: int) -> bool:
         return self.token_free and task_id == self.next_to_commit
 

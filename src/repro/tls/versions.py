@@ -193,6 +193,16 @@ class VersionDirectory:
     # ------------------------------------------------------------------
     # Introspection (used by write-back payload building and invariants)
     # ------------------------------------------------------------------
+    def iter_states(self):
+        """Yield ``(word, producers, readers)`` for every tracked word.
+
+        The yielded lists/dicts are the live internal structures (no
+        copies); callers — the invariant checker sweeps them after every
+        engine event — must treat them as read-only.
+        """
+        for word, state in self._words.items():
+            yield word, state.producers, state.readers
+
     def producers_of(self, word_addr: int) -> list[int]:
         state = self._words.get(word_addr)
         return list(state.producers) if state else []

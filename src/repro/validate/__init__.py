@@ -1,0 +1,41 @@
+"""Validation subsystem: runtime invariant checking + conformance oracle.
+
+Two layers prove that all taxonomy points implement the *same*
+architectural semantics with different timing (the premise of the paper's
+Figures 9-11):
+
+* :class:`~repro.validate.invariants.InvariantChecker` — a
+  :class:`~repro.core.hooks.SimulationHook` that asserts the protocol
+  invariants of Section 3.3 after every engine event (directory order,
+  commit sequencing, per-scheme buffer rules, undo-log lifecycle, cycle
+  conservation). Zero overhead when not attached.
+* :func:`~repro.validate.oracle.run_conformance` — a differential oracle
+  that runs one workload under every evaluated scheme (through the
+  :class:`~repro.runner.SweepRunner` fan-out) and asserts semantic
+  equivalence: identical final memory state, identical committed
+  read->producer dataflow, and timing-independent violation facts.
+
+``repro-tls validate`` drives both; the CI ``validate-smoke`` job runs
+them on every push.
+"""
+
+from repro.validate.invariants import InvariantChecker, InvariantViolation
+from repro.validate.oracle import (
+    ConformanceReport,
+    Divergence,
+    SchemeOutcome,
+    potential_raw_victims,
+    render_conformance_report,
+    run_conformance,
+)
+
+__all__ = [
+    "ConformanceReport",
+    "Divergence",
+    "InvariantChecker",
+    "InvariantViolation",
+    "SchemeOutcome",
+    "potential_raw_victims",
+    "render_conformance_report",
+    "run_conformance",
+]

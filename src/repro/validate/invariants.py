@@ -1,0 +1,332 @@
+"""Runtime protocol invariant checker (an engine observation hook).
+
+Attached to a :class:`~repro.core.engine.Simulation` via its ``hook``
+parameter, the checker re-derives the protocol contracts of Section 3.3
+from live engine state and raises :class:`InvariantViolation` at the
+first event after which any of them fails:
+
+* **Directory order** — every word's version list in the
+  :class:`~repro.tls.versions.VersionDirectory` is strictly sorted by
+  producer task ID, and every reader record is consistent: the consumed
+  version precedes the reader, still exists (or is architectural), and
+  the reader is still speculative (committed readers are forgotten,
+  squashed readers purged).
+* **Commit sequencing** — tasks are committed exactly in task-ID order:
+  a task is ``COMMITTED`` iff its ID is below the controller's
+  ``next_to_commit``, and the token holder is the next ``DONE`` task.
+* **Eager AMM merge** — commit leaves no committed-dirty line behind in
+  any cache and no overflowed version of a committed task: the merge
+  happened entirely inside the token hold (Figure 6-(a)).
+* **Lazy AMM merge** — main memory only ever holds committed versions
+  (the MROB keeps speculative state out of memory), and by loop end the
+  VCL has merged every committed version exactly once: the final memory
+  image equals the directory's last-writer image, and newest-wins
+  write-back ordering means no version is merged over a newer one.
+* **FMM lifecycle** — undo-log (MHB) entries exist only while their
+  overwriting task is live (freed at its commit, replayed away at its
+  squash); after a squash-recovery replay neither memory, the caches,
+  nor the directory hold any version of a task that is back to
+  ``PENDING`` — the observable outcome of replaying the distributed MHB
+  in strict reverse task order. AMM schemes must never touch the MHB,
+  and FMM must never use the AMM overflow area.
+* **Buffer separation** — SingleT processors hold at most one
+  speculative task; MultiT&SV processors hold at most one locally
+  created speculative version per line; no cache holds duplicate
+  (line, task) entries or versions of squashed (``PENDING``) tasks.
+* **Cycle conservation** — no processor's cycle account ever exceeds
+  elapsed simulated time, and at loop end every account sums exactly to
+  the run's total cycles (the Figures 9-11 stacked bars partition time).
+
+Cheap monotonicity checks run after *every* event; the full state sweep
+(directory, memory, caches, logs) runs every ``deep_every`` events and
+always at loop end, keeping checked runs affordable on real workloads.
+The checker never mutates engine state, so a checked run is bit-identical
+to an unchecked one (asserted by ``tests/test_runner.py``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.hooks import SimulationHook
+from repro.core.taxonomy import MergePolicy, TaskPolicy
+from repro.errors import ProtocolError
+from repro.memsys.cache import ARCH_TASK_ID
+from repro.tls.task import TaskState
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.engine import Simulation
+    from repro.core.results import SimulationResult
+
+#: Default deep-sweep period (events). Cheap checks run on every event.
+DEFAULT_DEEP_EVERY = 128
+
+_TIME_EPS = 1e-6
+
+
+class InvariantViolation(ProtocolError):
+    """A protocol invariant failed during a checked simulation run."""
+
+
+class InvariantChecker(SimulationHook):
+    """Asserts protocol invariants on live engine state (see module doc)."""
+
+    def __init__(self, deep_every: int = DEFAULT_DEEP_EVERY) -> None:
+        if deep_every < 1:
+            raise ValueError(f"deep_every must be >= 1, got {deep_every}")
+        self.deep_every = deep_every
+        self.events_checked = 0
+        self.deep_sweeps = 0
+        self._countdown = deep_every
+        self._last_now = 0.0
+        self._last_next_to_commit = 0
+
+    # ------------------------------------------------------------------
+    # Hook callbacks
+    # ------------------------------------------------------------------
+    def on_start(self, sim: "Simulation") -> None:
+        self._last_now = 0.0
+        self._last_next_to_commit = sim.commit.next_to_commit
+
+    def after_event(self, sim: "Simulation", now: float) -> None:
+        self.events_checked += 1
+        self._check_cheap(sim, now)
+        self._countdown -= 1
+        if self._countdown <= 0:
+            self._countdown = self.deep_every
+            self.deep_check(sim)
+
+    def on_finish(self, sim: "Simulation", result: "SimulationResult") -> None:
+        self.deep_check(sim)
+        self._check_finish(sim, result)
+
+    # ------------------------------------------------------------------
+    # Cheap per-event checks
+    # ------------------------------------------------------------------
+    def _fail(self, sim: "Simulation", message: str) -> None:
+        raise InvariantViolation(
+            f"[{sim.scheme.name} / {sim.workload.name} @ t={sim.now:.1f}, "
+            f"event {self.events_checked}] {message}"
+        )
+
+    def _check_cheap(self, sim: "Simulation", now: float) -> None:
+        if now < self._last_now - _TIME_EPS:
+            self._fail(sim, f"time ran backwards: {now} < {self._last_now}")
+        self._last_now = now
+
+        commit = sim.commit
+        nxt = commit.next_to_commit
+        if nxt < self._last_next_to_commit:
+            self._fail(sim, f"commit pointer moved backwards: "
+                            f"{nxt} < {self._last_next_to_commit}")
+        self._last_next_to_commit = nxt
+        in_flight = commit.in_flight
+        if in_flight is not None:
+            if in_flight != nxt:
+                self._fail(sim, f"token held by task {in_flight}, but "
+                                f"task {nxt} must commit next")
+            holder = sim.runs[in_flight]
+            if holder.state is not TaskState.DONE:
+                self._fail(sim, f"token holder {in_flight} is "
+                                f"{holder.state}, not done")
+
+        # Accrued cycles can never exceed elapsed simulated time (parked
+        # intervals are only credited when they close). Once the loop has
+        # finished, accounts are closed at the loop end instead, which the
+        # Lazy AMM final merge can push past the last event's timestamp.
+        bound = sim.total_cycles if sim.finished else now
+        for proc in sim.procs:
+            total = proc.account.total()
+            if total > bound + _TIME_EPS:
+                self._fail(sim, f"P{proc.proc_id} accounted {total} cycles "
+                                f"by time {bound}")
+
+    # ------------------------------------------------------------------
+    # Deep state sweep
+    # ------------------------------------------------------------------
+    def deep_check(self, sim: "Simulation") -> None:
+        """Sweep directory, memory, caches, overflow, and undo logs."""
+        self.deep_sweeps += 1
+        self._check_commit_states(sim)
+        self._check_directory(sim)
+        self._check_memory(sim)
+        self._check_buffers(sim)
+
+    def _check_commit_states(self, sim: "Simulation") -> None:
+        nxt = sim.commit.next_to_commit
+        for run in sim.runs.values():
+            committed = run.state is TaskState.COMMITTED
+            if committed != (run.task_id < nxt):
+                self._fail(sim, f"task {run.task_id} is {run.state} but "
+                                f"commit pointer is at {nxt} — commits must "
+                                f"be strictly sequential by task ID")
+
+    def _check_directory(self, sim: "Simulation") -> None:
+        runs = sim.runs
+        for word, producers, readers in sim.directory.iter_states():
+            prev = ARCH_TASK_ID
+            for producer in producers:
+                if producer <= prev:
+                    self._fail(sim, f"word {word:#x}: version list "
+                                    f"{producers} not strictly sorted")
+                prev = producer
+                run = runs.get(producer)
+                if run is None:
+                    self._fail(sim, f"word {word:#x}: version of unknown "
+                                    f"task {producer}")
+                if run.state is TaskState.PENDING:
+                    self._fail(sim, f"word {word:#x}: version of squashed "
+                                    f"task {producer} survived its purge")
+            for reader, seen in readers.items():
+                state = runs[reader].state
+                if state is TaskState.COMMITTED:
+                    self._fail(sim, f"word {word:#x}: committed task "
+                                    f"{reader} still recorded as a reader")
+                if state is TaskState.PENDING:
+                    self._fail(sim, f"word {word:#x}: squashed task "
+                                    f"{reader} still recorded as a reader")
+                if seen >= reader:
+                    self._fail(sim, f"word {word:#x}: reader {reader} "
+                                    f"consumed non-earlier version {seen}")
+                if seen != ARCH_TASK_ID and not sim.directory.has_version(
+                        word, seen):
+                    self._fail(sim, f"word {word:#x}: reader {reader} "
+                                    f"consumed version {seen}, which no "
+                                    f"longer exists")
+
+    def _check_memory(self, sim: "Simulation") -> None:
+        architectural = sim.scheme.merge_policy.is_architectural
+        runs = sim.runs
+        for word, producer in sim.memory.items():
+            if producer == ARCH_TASK_ID:
+                continue
+            state = runs[producer].state
+            if architectural and state is not TaskState.COMMITTED:
+                self._fail(sim, f"word {word:#x}: memory holds version of "
+                                f"{state} task {producer} under AMM — only "
+                                f"committed state may merge")
+            if state is TaskState.PENDING:
+                self._fail(sim, f"word {word:#x}: memory holds version of "
+                                f"squashed task {producer} — MHB replay "
+                                f"must have restored it")
+
+    def _check_buffers(self, sim: "Simulation") -> None:
+        scheme = sim.scheme
+        merge = scheme.merge_policy
+        runs = sim.runs
+        for proc in sim.procs:
+            if (scheme.task_policy is TaskPolicy.SINGLE_T
+                    and len(proc.speculative_resident()) > 1):
+                self._fail(sim, f"P{proc.proc_id} buffers "
+                                f"{sorted(proc.resident)} — SingleT holds "
+                                f"one speculative task at a time")
+            spec_owners: dict[int, set[int]] = {}
+            for cache in (proc.l1, proc.l2):
+                seen: set[tuple[int, int]] = set()
+                resident = 0
+                for entry in cache:
+                    resident += 1
+                    key = (entry.line_addr, entry.task_id)
+                    if key in seen:
+                        self._fail(sim, f"{cache.name}: duplicate entry for "
+                                        f"line {entry.line_addr:#x} task "
+                                        f"{entry.task_id}")
+                    seen.add(key)
+                    if entry.task_id == ARCH_TASK_ID:
+                        continue
+                    if runs[entry.task_id].state is TaskState.PENDING:
+                        self._fail(sim, f"{cache.name}: line of squashed "
+                                        f"task {entry.task_id} survived "
+                                        f"invalidation")
+                    if (merge is MergePolicy.EAGER_AMM and entry.committed
+                            and entry.dirty):
+                        self._fail(sim, f"{cache.name}: committed dirty "
+                                        f"line {entry.line_addr:#x} of task "
+                                        f"{entry.task_id} — Eager AMM "
+                                        f"merges inside the token hold")
+                    if entry.speculative and entry.dirty:
+                        spec_owners.setdefault(entry.line_addr,
+                                               set()).add(entry.task_id)
+                if resident != len(cache):
+                    self._fail(sim, f"{cache.name}: resident count "
+                                    f"{len(cache)} != {resident} entries")
+
+            for line, task, committed in proc.overflow.items():
+                if merge is MergePolicy.FMM:
+                    self._fail(sim, f"P{proc.proc_id}: FMM spilled line "
+                                    f"{line:#x} to the AMM overflow area")
+                state = runs[task].state
+                if state is TaskState.PENDING:
+                    self._fail(sim, f"P{proc.proc_id}: overflow holds line "
+                                    f"of squashed task {task}")
+                if committed != (state is TaskState.COMMITTED):
+                    self._fail(sim, f"P{proc.proc_id}: overflow commit flag "
+                                    f"for task {task} ({committed}) "
+                                    f"disagrees with its state ({state})")
+                if (merge is MergePolicy.EAGER_AMM
+                        and state is TaskState.COMMITTED):
+                    self._fail(sim, f"P{proc.proc_id}: overflow still holds "
+                                    f"line {line:#x} of committed task "
+                                    f"{task} under Eager AMM")
+                if not committed:
+                    spec_owners.setdefault(line, set()).add(task)
+
+            if scheme.task_policy is not TaskPolicy.MULTI_T_MV:
+                for line, owners in spec_owners.items():
+                    if len(owners) > 1:
+                        self._fail(sim, f"P{proc.proc_id}: line {line:#x} "
+                                        f"has speculative versions from "
+                                        f"tasks {sorted(owners)} — "
+                                        f"{scheme.task_policy} allows one")
+
+            for entry in proc.undolog.entries():
+                if merge is not MergePolicy.FMM:
+                    self._fail(sim, f"P{proc.proc_id}: AMM scheme wrote "
+                                    f"undo-log entries")
+                owner_state = runs[entry.overwriting_task].state
+                if owner_state is TaskState.COMMITTED:
+                    self._fail(sim, f"P{proc.proc_id}: log entry of "
+                                    f"committed task {entry.overwriting_task}"
+                                    f" was not freed at commit")
+                if owner_state is TaskState.PENDING:
+                    self._fail(sim, f"P{proc.proc_id}: log entry of "
+                                    f"squashed task {entry.overwriting_task}"
+                                    f" was not replayed during recovery")
+
+    # ------------------------------------------------------------------
+    # End-of-run checks
+    # ------------------------------------------------------------------
+    def _check_finish(self, sim: "Simulation",
+                      result: "SimulationResult") -> None:
+        commits = [tid for tid, _s, _e in sim.commit.stats.wavefront]
+        if commits != list(range(sim.commit.n_tasks)):
+            self._fail(sim, f"commit wavefront {commits} is not the strict "
+                            f"task sequence")
+
+        # Lazy AMM: by loop end the VCL (displacement merges + the final
+        # parallel merge) has merged every committed version exactly once —
+        # the memory image equals the directory's last-writer image, and
+        # since write-backs are newest-wins, no merge clobbered a newer one.
+        final = sim.directory.final_image()
+        image = sim.memory.image()
+        if image != final:
+            missing = {w: p for w, p in final.items() if image.get(w) != p}
+            extra = {w: p for w, p in image.items() if w not in final}
+            self._fail(sim, f"final memory image diverges from the "
+                            f"directory last-writer image: "
+                            f"unmerged/stale={dict(list(missing.items())[:5])}"
+                            f" spurious={dict(list(extra.items())[:5])}")
+
+        for proc in sim.procs:
+            for line, task, _committed in proc.overflow.items():
+                self._fail(sim, f"P{proc.proc_id}: overflow line {line:#x} "
+                                f"of task {task} never merged by loop end")
+            if len(proc.undolog) != 0:
+                self._fail(sim, f"P{proc.proc_id}: {len(proc.undolog)} "
+                                f"undo-log entries live after loop end")
+            total = proc.account.total()
+            if abs(total - result.total_cycles) > max(
+                    _TIME_EPS, 1e-9 * result.total_cycles):
+                self._fail(sim, f"P{proc.proc_id} cycle account sums to "
+                                f"{total}, total cycles are "
+                                f"{result.total_cycles}")

@@ -20,6 +20,19 @@ WORD_B = 0x20
 WORD_C = 0x400
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/digests.json from the current engine "
+             "output instead of diffing against it",
+    )
+
+
+@pytest.fixture
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    return request.config.getoption("--update-golden")
+
+
 def make_task(task_id: int, *ops: tuple[int, int]) -> TaskSpec:
     """Build a TaskSpec from raw (kind, value) pairs."""
     return TaskSpec(task_id=task_id, ops=tuple(ops))

@@ -1,0 +1,97 @@
+"""Golden regression corpus: digests of canonical results.
+
+``tests/golden/digests.json`` stores the SHA-256 of the canonical JSON
+serialization (:func:`canonical_result_bytes`, i.e. everything but the
+host wall clock) for a small (machine x scheme x app) grid, together
+with the :data:`ENGINE_VERSION` that produced it. The test recomputes
+the grid and diffs:
+
+* a digest change while ``ENGINE_VERSION`` still matches the stored one
+  means the timing model changed without a version bump — stale cached
+  results would silently replay as current, so this fails loudly;
+* after an intentional engine change, bump ``ENGINE_VERSION`` and run
+  ``pytest tests/test_golden.py --update-golden`` to re-baseline.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.serialization import canonical_result_bytes
+from repro.core.config import CMP_8, NUMA_16
+from repro.core.engine import ENGINE_VERSION
+from repro.core.taxonomy import (
+    MULTI_T_MV_FMM,
+    MULTI_T_MV_LAZY,
+    MULTI_T_SV_LAZY,
+    SINGLE_T_EAGER,
+)
+from repro.runner import SimJob, WorkloadSpec, execute_job
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "digests.json"
+
+#: One corner per taxonomy axis on both machine models, kept small so the
+#: whole grid recomputes in seconds.
+MACHINES = (NUMA_16, CMP_8)
+SCHEMES = (SINGLE_T_EAGER, MULTI_T_SV_LAZY, MULTI_T_MV_LAZY, MULTI_T_MV_FMM)
+APPS = ("Euler", "Apsi")
+SCALE = 0.1
+
+
+def _machine_key(machine) -> str:
+    # NUMA_16 and CMP_8 have distinct display names; keep keys readable.
+    return machine.name
+
+
+def _compute_digests() -> dict[str, str]:
+    digests = {}
+    for machine in MACHINES:
+        for scheme in SCHEMES:
+            for app in APPS:
+                job = SimJob(
+                    machine=machine,
+                    workload=WorkloadSpec(app, seed=0, scale=SCALE),
+                    scheme=scheme,
+                )
+                blob = canonical_result_bytes(execute_job(job))
+                key = f"{_machine_key(machine)} | {scheme.name} | {app}"
+                digests[key] = hashlib.sha256(blob).hexdigest()
+    return digests
+
+
+def test_golden_digests(update_golden):
+    current = _compute_digests()
+    if update_golden:
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(
+            {"engine_version": ENGINE_VERSION, "digests": current},
+            indent=2, sort_keys=True,
+        ) + "\n")
+        pytest.skip(f"golden digests rewritten at {GOLDEN_PATH}")
+
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} is missing; generate it with "
+        f"`pytest tests/test_golden.py --update-golden`"
+    )
+    stored = json.loads(GOLDEN_PATH.read_text())
+
+    if stored["engine_version"] != ENGINE_VERSION:
+        pytest.fail(
+            f"ENGINE_VERSION is {ENGINE_VERSION!r} but the golden corpus "
+            f"was baselined at {stored['engine_version']!r}; re-baseline "
+            f"with `pytest tests/test_golden.py --update-golden`"
+        )
+
+    assert set(current) == set(stored["digests"]), (
+        "golden grid definition changed; re-baseline with --update-golden"
+    )
+    drifted = sorted(k for k in current if current[k] != stored["digests"][k])
+    assert not drifted, (
+        f"{len(drifted)} golden digest(s) drifted while ENGINE_VERSION "
+        f"stayed {ENGINE_VERSION!r} — cached results of these jobs would "
+        f"replay stale timing as current. If the behaviour change is "
+        f"intentional, bump ENGINE_VERSION in repro/core/engine.py and run "
+        f"`pytest tests/test_golden.py --update-golden`. Drifted: {drifted}"
+    )

@@ -96,6 +96,33 @@ def test_serial_pool_and_cache_replay_are_bit_identical(tmp_path):
     assert replayed.memory_image == serial.memory_image
 
 
+def test_checked_job_is_deterministic_across_runs_and_replay(tmp_path):
+    # The validate path: an invariant-checked job run twice in-process
+    # and once through cache replay is bit-identical — the checker
+    # observes the run without perturbing it.
+    job = SimJob(
+        machine=NUMA_16,
+        workload=WorkloadSpec("Euler", seed=0, scale=SCALE),
+        scheme=MULTI_T_MV_LAZY,
+        check_invariants=True,
+    )
+    runner = SweepRunner(jobs=1, cache=None)
+    first = canonical_result_bytes(runner.run(job))
+    second = canonical_result_bytes(runner.run(job))
+
+    cache = ResultCache(tmp_path)
+    SweepRunner(jobs=1, cache=cache).run(job)  # populate
+    fresh = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+    replayed = canonical_result_bytes(fresh.run(job))
+    assert fresh.cache.stats.hits == 1
+
+    assert first == second == replayed
+    # And it matches the unchecked run of the same job bit for bit.
+    unchecked = _job(scheme=MULTI_T_MV_LAZY)
+    assert job.cache_key() != unchecked.cache_key()
+    assert canonical_result_bytes(runner.run(unchecked)) == first
+
+
 def test_sequential_baseline_round_trips_through_pool_and_cache(tmp_path):
     job = _job(scheme=None)
     other = _job(app="Apsi", scheme=None)

@@ -1,0 +1,77 @@
+"""Every evaluated scheme name survives each representation boundary.
+
+A scheme crosses three boundaries in normal use: CLI / config parsing
+(:func:`scheme_from_name`), SimJob content addressing (the name is part
+of the cache key), and result serialization (results store the name and
+resolve it back on load). A name that drifts in any of them would replay
+the wrong scheme's results, so all three are pinned here for all eight
+evaluated taxonomy points.
+"""
+
+import pytest
+
+from repro.analysis.serialization import result_from_dict, result_to_dict
+from repro.core.config import NUMA_16
+from repro.core.taxonomy import (
+    EVALUATED_SCHEMES,
+    MergePolicy,
+    Scheme,
+    TaskPolicy,
+    scheme_from_name,
+)
+from repro.errors import ConfigurationError
+from repro.runner import SimJob, WorkloadSpec, execute_job
+
+SPEC = WorkloadSpec("Apsi", seed=0, scale=0.1)
+
+
+@pytest.mark.parametrize("scheme", EVALUATED_SCHEMES, ids=lambda s: s.name)
+def test_name_parses_back_to_the_same_scheme(scheme):
+    assert scheme_from_name(scheme.name) is scheme
+    assert scheme_from_name(scheme.name.upper()) is scheme  # CLI is lax
+
+
+def test_evaluated_scheme_names_are_unique():
+    names = [s.name for s in EVALUATED_SCHEMES]
+    assert len(set(names)) == len(names) == 8
+
+
+def test_shaded_schemes_do_not_parse():
+    shaded = [
+        Scheme(TaskPolicy.SINGLE_T, MergePolicy.FMM),
+        Scheme(TaskPolicy.MULTI_T_SV, MergePolicy.FMM),
+    ]
+    for scheme in shaded:
+        assert scheme.is_shaded
+        with pytest.raises(ConfigurationError):
+            scheme_from_name(scheme.name)
+
+
+def test_schemes_get_distinct_cache_keys():
+    keys = {
+        SimJob(machine=NUMA_16, workload=SPEC, scheme=scheme).cache_key()
+        for scheme in EVALUATED_SCHEMES
+    }
+    assert len(keys) == len(EVALUATED_SCHEMES)
+
+
+@pytest.mark.parametrize("scheme", EVALUATED_SCHEMES, ids=lambda s: s.name)
+def test_result_serialization_round_trips_the_scheme(scheme):
+    result = execute_job(
+        SimJob(machine=NUMA_16, workload=SPEC, scheme=scheme))
+    assert result.scheme is scheme
+    payload = result_to_dict(result, full=True)
+    assert payload["scheme"] == scheme.name
+    restored = result_from_dict(payload)
+    assert isinstance(restored.scheme, Scheme)
+    assert restored.scheme is scheme
+
+
+def test_cli_accepts_every_evaluated_scheme_name():
+    # Only the parse path: argparse hands --scheme to scheme_from_name
+    # before anything runs, so one full CLI run per scheme would test the
+    # engine, not the names. Exercise the whole pipe once.
+    from repro.analysis.cli import main
+
+    assert main(["run", "--app", "Apsi", "--scale", "0.05",
+                 "--scheme", "MultiT&MV FMM.Sw"]) == 0

@@ -1,0 +1,142 @@
+"""Property-based tests for the FMM undo log (MHB).
+
+Random write/commit/squash interleavings (seeded stdlib ``random``, so
+every failure reproduces) driven against a real :class:`MainMemory` +
+per-processor :class:`UndoLog` pair, checked against an independently
+computed reference:
+
+* replaying every speculative task's entries in strict reverse task
+  order restores memory to exactly the image the surviving (committed)
+  prefix would have produced alone — full rollback recovers the exact
+  pre-speculation contents;
+* commit frees exactly the committing task's entries and nothing else —
+  entries are never freed early and never leak.
+"""
+
+import random
+
+import pytest
+
+from repro.memsys.cache import ARCH_TASK_ID
+from repro.memsys.mainmem import MainMemory
+from repro.memsys.undolog import LogEntry, UndoLog
+
+N_TRIALS = 40
+N_PROCS = 2
+
+
+def _random_schedule(rng: random.Random):
+    """Tasks (in program order) with random word-write sequences.
+
+    Words are drawn from a small pool so tasks overlap heavily — the
+    interesting MHB cases are chains of tasks overwriting each other.
+    """
+    n_tasks = rng.randint(2, 8)
+    words = [0x100 + 4 * i for i in range(rng.randint(2, 10))]
+    return [
+        (task, [rng.choice(words) for _ in range(rng.randint(0, 6))])
+        for task in range(n_tasks)
+    ]
+
+
+def _run_speculation(schedule, logs):
+    """Apply every task's writes through memory, logging pre-versions."""
+    memory = MainMemory(mtid_enabled=True)
+    for task, writes in schedule:
+        log = logs[task % N_PROCS]
+        for word in writes:
+            resident = memory.producer_of(word)
+            if resident < task and log.needs_entry(task, word):
+                log.append(LogEntry(
+                    line_addr=word, producer_task=resident,
+                    overwriting_task=task, words=((word, resident),),
+                ))
+            memory.writeback_words({word: task})
+    return memory
+
+
+def _expected_image(schedule, surviving):
+    """Last-writer image of the surviving tasks alone (the reference)."""
+    image = {}
+    for task, writes in schedule:
+        if task in surviving:
+            for word in writes:
+                image[word] = task
+    return image
+
+
+def _rollback(memory, logs, squashed):
+    """Replay the distributed MHB in strict reverse task order."""
+    for task in sorted(squashed, reverse=True):
+        for log in logs:
+            for entry in log.pop_entries_of(task):
+                memory.restore_words(entry.words_dict())
+
+
+@pytest.mark.parametrize("seed", range(N_TRIALS))
+def test_full_rollback_restores_pre_speculation_memory(seed):
+    rng = random.Random(seed)
+    schedule = _random_schedule(rng)
+    logs = [UndoLog(p) for p in range(N_PROCS)]
+    memory = _run_speculation(schedule, logs)
+
+    _rollback(memory, logs, squashed={task for task, _ in schedule})
+    assert memory.image() == {}, (
+        "rolling back every task must restore the architectural image"
+    )
+    assert all(len(log) == 0 for log in logs)
+
+
+@pytest.mark.parametrize("seed", range(N_TRIALS))
+def test_partial_rollback_keeps_exactly_the_committed_prefix(seed):
+    rng = random.Random(seed)
+    schedule = _random_schedule(rng)
+    logs = [UndoLog(p) for p in range(N_PROCS)]
+    memory = _run_speculation(schedule, logs)
+
+    # Commit a random prefix (in task order, as the token enforces),
+    # then squash everything after it.
+    n_tasks = len(schedule)
+    n_committed = rng.randint(0, n_tasks)
+    for task in range(n_committed):
+        logs[task % N_PROCS].free_task(task)
+    _rollback(memory, logs, squashed=set(range(n_committed, n_tasks)))
+
+    assert memory.image() == _expected_image(schedule, range(n_committed))
+    assert all(len(log) == 0 for log in logs)
+
+
+@pytest.mark.parametrize("seed", range(N_TRIALS))
+def test_commit_frees_exactly_the_committing_tasks_entries(seed):
+    rng = random.Random(seed)
+    schedule = _random_schedule(rng)
+    logs = [UndoLog(p) for p in range(N_PROCS)]
+    _run_speculation(schedule, logs)
+
+    for task, _writes in schedule:
+        log = logs[task % N_PROCS]
+        before = log.entries()
+        mine = [e for e in before if e.overwriting_task == task]
+        others = [e for e in before if e.overwriting_task != task]
+        freed = log.free_task(task)
+        assert freed == len(mine)
+        # Entries of still-speculative tasks are untouched, in order.
+        assert list(log.entries()) == others
+        assert not log.entries_of(task)
+        # A freed (task, line) pair would need logging again.
+        for entry in mine:
+            assert log.needs_entry(task, entry.line_addr)
+
+
+def test_log_rejects_duplicate_and_misordered_entries():
+    from repro.errors import ProtocolError
+
+    log = UndoLog(0)
+    entry = LogEntry(line_addr=0x100, producer_task=ARCH_TASK_ID,
+                     overwriting_task=2, words=((0x100, ARCH_TASK_ID),))
+    log.append(entry)
+    with pytest.raises(ProtocolError):
+        log.append(entry)  # one entry per (task, line) first write
+    with pytest.raises(ProtocolError):
+        log.append(LogEntry(line_addr=0x200, producer_task=3,
+                            overwriting_task=3, words=((0x200, 3),)))
