@@ -68,6 +68,14 @@ from repro.errors import (
     SimulationError,
     WorkloadError,
 )
+from repro.obs import (
+    MetricsHook,
+    MetricsRegistry,
+    MetricsSnapshot,
+    aggregate_by_scheme,
+    export_chrome_trace,
+    export_jsonl,
+)
 from repro.workloads import (
     APPLICATION_ORDER,
     APPLICATIONS,
@@ -98,6 +106,9 @@ __all__ = [
     "MULTI_T_SV_LAZY",
     "MachineConfig",
     "MergePolicy",
+    "MetricsHook",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "NUMA_16",
     "NUMA_16_BIG_L2",
     "PRIOR_SCHEMES",
@@ -117,7 +128,10 @@ __all__ = [
     "TraceRecorder",
     "Workload",
     "WorkloadError",
+    "aggregate_by_scheme",
     "complexity_score",
+    "export_chrome_trace",
+    "export_jsonl",
     "generate_workload",
     "required_supports",
     "scheme_from_name",

@@ -91,6 +91,7 @@ class ExperimentContext:
         self._results: dict[str, SimulationResult | SequentialResult] = {}
 
     def workload(self, app: str) -> Workload:
+        """Memoized workload for ``app`` at this context's seed and scale."""
         if app not in self._workloads:
             self._workloads[app] = APPLICATIONS[app].generate(
                 seed=self.seed, scale=self.scale
@@ -137,10 +138,12 @@ class ExperimentContext:
     # Single-result accessors (memo-backed)
     # ------------------------------------------------------------------
     def sequential(self, machine: MachineConfig, app: str) -> SequentialResult:
+        """Sequential baseline for ``app`` on ``machine`` (runner-cached)."""
         return self.submit([self._job(machine, None, app)])[0]
 
     def run(self, machine: MachineConfig, scheme: Scheme,
             app: str) -> SimulationResult:
+        """One simulation cell, routed through the shared runner and cache."""
         return self.submit([self._job(machine, scheme, app)])[0]
 
 
@@ -149,9 +152,11 @@ class ExperimentContext:
 # ======================================================================
 @dataclass
 class Figure1Result:
+    """Figure 1-(a): measured application buffering characteristics."""
     rows: list[tuple[str, float, float, float, float]]
 
     def render(self) -> str:
+        """Render the paper-style plain-text table/figure."""
         return render_table(
             ["Appl", "SpecTasks InSystem", "SpecTasks PerProc",
              "Footprint (KB)", "Priv (%)"],
@@ -185,7 +190,9 @@ def run_figure1(ctx: ExperimentContext | None = None) -> Figure1Result:
 # ======================================================================
 @dataclass
 class Tables12Result:
+    """Tables 1-2 and the Section 3.3.5 complexity ordering."""
     def render(self) -> str:
+        """Render the paper-style plain-text table/figure."""
         t1 = render_table(
             ["Support", "Description"],
             [(s.name, desc) for s, desc in SUPPORT_DESCRIPTIONS.items()],
@@ -210,6 +217,7 @@ class Tables12Result:
 
 
 def run_tables12() -> Tables12Result:
+    """Render the analytic support/upgrade/complexity tables."""
     return Tables12Result()
 
 
@@ -218,7 +226,9 @@ def run_tables12() -> Tables12Result:
 # ======================================================================
 @dataclass
 class Figure4Result:
+    """Figure 4: prior TLS schemes mapped onto the taxonomy."""
     def render(self) -> str:
+        """Render the paper-style plain-text table/figure."""
         rows = []
         for prior in PRIOR_SCHEMES:
             merge = ("coarse recovery / n-a" if prior.merge_policy is None
@@ -233,6 +243,7 @@ class Figure4Result:
 
 
 def run_figure4() -> Figure4Result:
+    """Render the analytic prior-scheme mapping."""
     return Figure4Result()
 
 
@@ -264,10 +275,12 @@ def _figure5_workload() -> Workload:
 
 @dataclass
 class Figure5Result:
+    """Figure 5: SingleT vs MultiT&SV vs MultiT&MV timelines."""
     timelines: dict[str, tuple[list, float, int]]
     total_cycles: dict[str, float]
 
     def render(self) -> str:
+        """Render the paper-style plain-text table/figure."""
         parts = ["Figure 5: four tasks, two processors (T0 long; T1-T3 "
                  "each create a version of X)"]
         for name, (intervals, total, n_procs) in self.timelines.items():
@@ -278,6 +291,8 @@ class Figure5Result:
 
 
 def run_figure5(ctx: ExperimentContext | None = None) -> Figure5Result:
+    """Simulate the imbalanced two-processor toy loop under the three task policies.
+    """
     ctx = ctx or ExperimentContext()
     machine = scaled_machine(NUMA_16, 2)
     workload = _figure5_workload()
@@ -317,9 +332,11 @@ def _figure6_workload() -> Workload:
 
 @dataclass
 class Figure6Result:
+    """Figure 6: execution vs commit wavefronts, Eager vs Lazy."""
     timelines: dict[str, tuple[list, float, int]]
 
     def render(self) -> str:
+        """Render the paper-style plain-text table/figure."""
         parts = ["Figure 6: execution and commit wavefronts (six tasks, "
                  "three processors, high commit/execution ratio)"]
         for name, (intervals, total, n_procs) in self.timelines.items():
@@ -330,6 +347,8 @@ class Figure6Result:
 
 
 def run_figure6(ctx: ExperimentContext | None = None) -> Figure6Result:
+    """Simulate the high commit/execution-ratio toy loop under Eager and Lazy.
+    """
     ctx = ctx or ExperimentContext()
     machine = scaled_machine(NUMA_16, 3)
     workload = _figure6_workload()
@@ -355,7 +374,9 @@ def run_figure6(ctx: ExperimentContext | None = None) -> Figure6Result:
 # ======================================================================
 @dataclass
 class Figure8Result:
+    """Figure 8: application characteristics limiting each scheme."""
     def render(self) -> str:
+        """Render the paper-style plain-text table/figure."""
         rows = []
         for scheme in EVALUATED_SCHEMES:
             limits = limiting_characteristics(scheme)
@@ -369,6 +390,7 @@ class Figure8Result:
 
 
 def run_figure8() -> Figure8Result:
+    """Render the analytic limiting-characteristics map."""
     return Figure8Result()
 
 
@@ -377,9 +399,11 @@ def run_figure8() -> Figure8Result:
 # ======================================================================
 @dataclass
 class Table3Result:
+    """Table 3: measured application characteristics on both machines."""
     rows: list[tuple]
 
     def render(self) -> str:
+        """Render the paper-style plain-text table/figure."""
         return render_table(
             ["Appl", "Instr/task (k)", "C/E NUMA (%)", "C/E CMP (%)",
              "Imbalance (cv)", "Priv (%fp)", "Squash/task",
@@ -391,6 +415,8 @@ class Table3Result:
 
 
 def run_table3(ctx: ExperimentContext | None = None) -> Table3Result:
+    """Measure instr/task, commit/exec ratio, and squash class per application.
+    """
     ctx = ctx or ExperimentContext()
     ctx.prefetch(NUMA_16, APPLICATION_ORDER, (MULTI_T_MV_EAGER,),
                  sequential=False)
@@ -434,6 +460,7 @@ class SchemeBarsResult:
     title: str
 
     def render(self) -> str:
+        """Render the paper-style plain-text table/figure."""
         parts = [self.title]
         for app, per_scheme in self.cells.items():
             bars = []
@@ -516,10 +543,12 @@ def run_figure11(ctx: ExperimentContext | None = None) -> SchemeBarsResult:
 # ======================================================================
 @dataclass
 class Figure10Result:
+    """Figure 10: MultiT&MV merge-policy comparison (+ Lazy.L2 for P3m)."""
     bars: SchemeBarsResult
     lazy_l2: dict[str, tuple[float, float, float]]
 
     def render(self) -> str:
+        """Render the paper-style plain-text table/figure."""
         parts = [self.bars.render()]
         rows = [(app, norm, busy * 100, speedup)
                 for app, (norm, busy, speedup) in self.lazy_l2.items()]
@@ -541,6 +570,7 @@ FIGURE10_SCHEMES = (
 
 
 def run_figure10(ctx: ExperimentContext | None = None) -> Figure10Result:
+    """Run the NUMA MultiT&MV Eager/Lazy/FMM/FMM.Sw grid."""
     ctx = ctx or ExperimentContext()
     bars = _scheme_bars(
         ctx, NUMA_16, FIGURE10_SCHEMES,
@@ -566,9 +596,11 @@ def run_figure10(ctx: ExperimentContext | None = None) -> Figure10Result:
 # ======================================================================
 @dataclass
 class SummaryResult:
+    """Section 5.4: aggregate percentage improvements across both machines."""
     rows: list[tuple[str, float, float]]
 
     def render(self) -> str:
+        """Render the paper-style plain-text table/figure."""
         return render_table(
             ["Claim", "Paper (%)", "Measured (%)"],
             [(claim, paper, measured * 100)
@@ -578,6 +610,7 @@ class SummaryResult:
 
 
 def run_summary(ctx: ExperimentContext | None = None) -> SummaryResult:
+    """Derive the Section 5.4 aggregate improvements from Figures 9-11."""
     ctx = ctx or ExperimentContext()
     fig9 = run_figure9(ctx)
     fig11 = run_figure11(ctx)
@@ -631,6 +664,7 @@ class BreakdownResult:
     cells: dict[str, dict[str, dict[str, float]]]
 
     def render(self) -> str:
+        """Render the paper-style plain-text table/figure."""
         from repro.processor.processor import CycleCategory
 
         header = ["Appl", "Scheme"] + [c.value for c in CycleCategory]
@@ -687,6 +721,7 @@ class TrafficResult:
     rows: list[tuple]
 
     def render(self) -> str:
+        """Render the paper-style plain-text table/figure."""
         return render_table(
             ["Appl", "Scheme", "remote fetch/task", "mem fetch/task",
              "writebacks/task", "VCL merges/task", "overflow ops/task"],
@@ -701,6 +736,7 @@ TRAFFIC_SCHEMES = (MULTI_T_MV_EAGER, MULTI_T_MV_LAZY, MULTI_T_MV_FMM)
 
 def run_traffic(ctx: ExperimentContext | None = None,
                 machine: MachineConfig = NUMA_16) -> TrafficResult:
+    """Beyond-the-paper view: protocol traffic per committed task."""
     ctx = ctx or ExperimentContext()
     ctx.prefetch(machine, APPLICATION_ORDER, TRAFFIC_SCHEMES,
                  sequential=False)
@@ -741,6 +777,7 @@ class ScalabilityResult:
     curves: dict[str, list[float]]
 
     def render(self) -> str:
+        """Render the paper-style plain-text table/figure."""
         rows = []
         for scheme_name, speedups in self.curves.items():
             rows.append([scheme_name] + [f"{s:.2f}x" for s in speedups])
@@ -759,6 +796,7 @@ def run_scalability(ctx: ExperimentContext | None = None,
                     app: str = "Apsi",
                     proc_counts: tuple[int, ...] = (4, 8, 16, 32),
                     ) -> ScalabilityResult:
+    """Beyond-the-paper view: speedup vs processor count."""
     ctx = ctx or ExperimentContext()
     machines = [scaled_machine(NUMA_16, n) for n in proc_counts]
     jobs = []

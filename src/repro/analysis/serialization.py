@@ -67,11 +67,13 @@ def workload_from_dict(data: dict[str, Any]) -> Workload:
 
 
 def save_workload(workload: Workload, path: str) -> None:
+    """Write a workload to ``path`` as JSON."""
     with open(path, "w") as handle:
         json.dump(workload_to_dict(workload), handle)
 
 
 def load_workload(path: str) -> Workload:
+    """Read a workload written by :func:`save_workload`."""
     with open(path) as handle:
         return workload_from_dict(json.load(handle))
 
@@ -284,5 +286,6 @@ def result_summary_from_dict(data: dict[str, Any]) -> dict[str, Any]:
 
 def save_result(result: SimulationResult, path: str,
                 include_image: bool = False) -> None:
+    """Write a result to ``path`` as JSON (optionally with the workload)."""
     with open(path, "w") as handle:
         json.dump(result_to_dict(result, include_image=include_image), handle)

@@ -56,6 +56,7 @@ class SampleStats:
         return max(self.values)
 
     def all_positive(self) -> bool:
+        """True when every sample is strictly positive."""
         return all(v > 0 for v in self.values)
 
     def __str__(self) -> str:

@@ -175,5 +175,6 @@ def scheme_bars_to_svg(result, title: str | None = None) -> str:
 
 
 def save_svg(svg_text: str, path: str) -> None:
+    """Write an SVG document to ``path``."""
     with open(path, "w") as handle:
         handle.write(svg_text + "\n")

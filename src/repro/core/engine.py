@@ -458,6 +458,9 @@ class Simulation:
             overwriting_task=tid,
             words=tuple(sorted(words.items())),
         ))
+        if self.trace is not None:
+            self.trace.emit(TraceEvent.UNDOLOG_APPEND, now, tid,
+                            proc.proc_id, detail=line)
         # Drop older local versions of the line: their state is recoverable
         # from the MHB, and memory keeps the latest future state via MTID.
         for cache in (proc.l1, proc.l2):
@@ -612,6 +615,9 @@ class Simulation:
         # Speculative dirty line under AMM: overflow area.
         self.traffic.overflow_spills += 1
         proc.overflow.spill(victim.line_addr, victim.task_id, committed=False)
+        if self.trace is not None:
+            self.trace.emit(TraceEvent.OVERFLOW_SPILL, now, victim.task_id,
+                            proc.proc_id, detail=victim.line_addr)
 
     def _writeback_entry_to_memory(self, entry: CacheLine) -> None:
         run = self.runs.get(entry.task_id)

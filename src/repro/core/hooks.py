@@ -51,13 +51,16 @@ class CompositeHook(SimulationHook):
         self.hooks = tuple(hooks)
 
     def on_start(self, sim: "Simulation") -> None:
+        """Called once before the first event is dispatched."""
         for hook in self.hooks:
             hook.on_start(sim)
 
     def after_event(self, sim: "Simulation", now: float) -> None:
+        """Called after every dispatched event."""
         for hook in self.hooks:
             hook.after_event(sim, now)
 
     def on_finish(self, sim: "Simulation", result: "SimulationResult") -> None:
+        """Called once after the last event, before results are built."""
         for hook in self.hooks:
             hook.on_finish(sim, result)

@@ -32,6 +32,7 @@ class TrafficStats:
     overflow_fetches: int = 0
 
     def total_messages(self) -> int:
+        """Sum of all message counters."""
         return (self.remote_cache_fetches + self.memory_fetches
                 + self.line_writebacks + self.vcl_merges
                 + self.overflow_spills + self.overflow_fetches)
@@ -111,6 +112,14 @@ class SimulationResult:
     #: (see :func:`repro.analysis.serialization.canonical_result_bytes`).
     events_processed: int = 0
     wall_clock_seconds: float = 0.0
+    #: Observability attachments, populated only when the run carried a
+    #: :class:`repro.obs.MetricsHook` / :class:`~repro.core.trace.\
+    #: TraceRecorder`. Both are excluded from comparison and from every
+    #: serialized form (see :mod:`repro.analysis.serialization`), so
+    #: instrumented runs share cache keys semantics and canonical bytes
+    #: with plain ones.
+    metrics: "object | None" = field(default=None, compare=False, repr=False)
+    trace: "object | None" = field(default=None, compare=False, repr=False)
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -145,6 +154,7 @@ class SimulationResult:
         return sum(ratios) / len(ratios) if ratios else 0.0
 
     def speedup_over(self, sequential_cycles: float) -> float:
+        """Speedup of this run relative to ``baseline_cycles``."""
         if self.total_cycles <= 0:
             return 0.0
         return sequential_cycles / self.total_cycles

@@ -27,6 +27,8 @@ class TraceEvent(enum.Enum):
     TASK_SQUASHED = "task-squashed"
     SV_STALL = "sv-stall"
     SV_RESUME = "sv-resume"
+    OVERFLOW_SPILL = "overflow-spill"
+    UNDOLOG_APPEND = "undolog-append"
 
     def __str__(self) -> str:
         return self.value
@@ -53,6 +55,7 @@ class TraceRecorder:
 
     def emit(self, event: TraceEvent, time: float, task_id: int,
              proc_id: int | None = None, detail: int | None = None) -> None:
+        """Append one record (no-op cost when no recorder is attached)."""
         self._records.append(TraceRecord(event, time, task_id, proc_id,
                                          detail))
 
@@ -69,6 +72,7 @@ class TraceRecorder:
         ]
 
     def count(self, event: TraceEvent) -> int:
+        """Number of recorded events of ``kind``."""
         return sum(1 for r in self._records if r.event is event)
 
     def task_history(self, task_id: int) -> list[TraceRecord]:

@@ -34,11 +34,13 @@ class LogEntry:
     words: tuple[tuple[int, int], ...]
 
     def words_dict(self) -> dict[int, int]:
+        """The saved words as a plain address->value dict."""
         return dict(self.words)
 
 
 @dataclass
 class UndoLogStats:
+    """Counters for undo-log (MHB) activity."""
     appends: int = 0
     frees: int = 0
     restores: int = 0
@@ -61,6 +63,7 @@ class UndoLog:
         return (overwriting_task, line_addr) not in self._logged
 
     def append(self, entry: LogEntry) -> None:
+        """Log the overwritten version of a line before memory is updated."""
         key = (entry.overwriting_task, entry.line_addr)
         if key in self._logged:
             raise ProtocolError(
@@ -110,6 +113,7 @@ class UndoLog:
         return tuple(self._entries)
 
     def entries_of(self, task_id: int) -> list[LogEntry]:
+        """Live log entries belonging to ``task_id``, oldest first."""
         return [e for e in self._entries if e.overwriting_task == task_id]
 
     def __len__(self) -> int:

@@ -1,0 +1,49 @@
+"""Observability: metrics, trace export, and the reproduction report.
+
+Three layers, all strictly *observational* — attaching any of them never
+changes a simulation's result (the bit-identity contract of
+:mod:`repro.core.hooks`):
+
+* :mod:`repro.obs.metrics` — :class:`MetricsHook` accumulates counters
+  and histograms (squashes, overflow spills, directory lookups,
+  commit-wait cycles, network messages) onto ``result.metrics``;
+  :func:`aggregate_by_scheme` folds runs into per-scheme aggregates.
+* :mod:`repro.obs.trace_export` — serializes a
+  :class:`~repro.core.trace.TraceRecorder` stream to JSONL or Chrome
+  ``trace_event`` JSON, with sampling and an explicit byte cap.
+* :mod:`repro.obs.report` — ``repro-tls report``: runs the paper's full
+  machine x scheme grid and renders the self-contained HTML/Markdown
+  reproduction report with figure analogues and headline-claim badges.
+"""
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsHook,
+    MetricsRegistry,
+    MetricsSnapshot,
+    TaskMetrics,
+    aggregate_by_scheme,
+)
+from repro.obs.trace_export import (
+    ExportStats,
+    export_chrome_trace,
+    export_jsonl,
+    load_jsonl,
+)
+from repro.obs.report import ClaimBadge, build_report, evaluate_claims
+
+__all__ = [
+    "ClaimBadge",
+    "ExportStats",
+    "Histogram",
+    "MetricsHook",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "TaskMetrics",
+    "aggregate_by_scheme",
+    "build_report",
+    "evaluate_claims",
+    "export_chrome_trace",
+    "export_jsonl",
+    "load_jsonl",
+]

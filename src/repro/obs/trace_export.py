@@ -1,0 +1,234 @@
+"""Structured export of engine traces: JSONL and Chrome ``trace_event``.
+
+Serializes the :class:`~repro.core.trace.TraceRecord` stream of a traced
+run to two formats:
+
+* **JSONL** (:func:`export_jsonl` / :func:`load_jsonl`) — one JSON
+  object per line, exact round-trip, suitable for ``jq``/pandas-style
+  post-processing. Supports sampling (keep every Nth record) and a hard
+  byte cap, both reported in the returned :class:`ExportStats` so the
+  caller knows what was dropped — truncation is never silent.
+* **Chrome trace_event** (:func:`export_chrome_trace`) — a JSON array
+  loadable in ``about://tracing`` / Perfetto: task executions and commits
+  as duration (``B``/``E``) pairs on one row per processor, violations /
+  squashes / stalls / spills as instant events.
+
+Export is pure serialization of an in-memory recorder: it never touches
+the engine, and traced jobs never enter the result cache (see
+:class:`repro.runner.SimJob` ``traced``), so these files cannot leak into
+cached, untraced runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.trace import TraceEvent, TraceRecord
+
+#: Events rendered as duration pairs in the Chrome export; everything
+#: else becomes an instant event.
+_DURATION_BEGIN = {TraceEvent.TASK_START: "task",
+                   TraceEvent.COMMIT_BEGIN: "commit"}
+_DURATION_END = {TraceEvent.TASK_DONE: "task",
+                 TraceEvent.TASK_SQUASHED: "task",
+                 TraceEvent.COMMIT_DONE: "commit"}
+
+
+@dataclass(frozen=True)
+class ExportStats:
+    """What an export wrote — and, explicitly, what it dropped."""
+
+    records_total: int
+    records_written: int
+    bytes_written: int
+    truncated: bool
+
+    @property
+    def records_dropped(self) -> int:
+        return self.records_total - self.records_written
+
+
+def record_to_dict(record: TraceRecord) -> dict:
+    """JSON-ready form of one trace record (exact round-trip)."""
+    data = {
+        "event": record.event.value,
+        "time": record.time,
+        "task": record.task_id,
+    }
+    if record.proc_id is not None:
+        data["proc"] = record.proc_id
+    if record.detail is not None:
+        data["detail"] = record.detail
+    return data
+
+
+def record_from_dict(data: dict) -> TraceRecord:
+    """Rebuild a record serialized with :func:`record_to_dict`."""
+    return TraceRecord(
+        event=TraceEvent(data["event"]),
+        time=float(data["time"]),
+        task_id=int(data["task"]),
+        proc_id=data.get("proc"),
+        detail=data.get("detail"),
+    )
+
+
+def export_jsonl(
+    records: Iterable[TraceRecord],
+    path: str | Path,
+    *,
+    sample_every: int = 1,
+    max_bytes: int | None = None,
+) -> ExportStats:
+    """Write records to ``path`` as JSON Lines.
+
+    ``sample_every=N`` keeps every Nth record (the first of each stride);
+    ``max_bytes`` stops writing before a line would push the file past
+    the cap. Both reductions are counted in the returned stats.
+    """
+    if sample_every < 1:
+        raise ValueError("sample_every must be >= 1")
+    records = list(records)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    written = 0
+    size = 0
+    truncated = False
+    with open(path, "w") as handle:
+        for i, record in enumerate(records):
+            if i % sample_every:
+                continue
+            line = json.dumps(record_to_dict(record),
+                              sort_keys=True) + "\n"
+            if max_bytes is not None and size + len(line) > max_bytes:
+                truncated = True
+                break
+            handle.write(line)
+            size += len(line)
+            written += 1
+    return ExportStats(records_total=len(records), records_written=written,
+                       bytes_written=size, truncated=truncated)
+
+
+def load_jsonl(path: str | Path) -> list[TraceRecord]:
+    """Read an :func:`export_jsonl` file back into records."""
+    out = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(record_from_dict(json.loads(line)))
+    return out
+
+
+def chrome_trace_events(
+    records: Iterable[TraceRecord],
+    *,
+    sample_instants_every: int = 1,
+) -> list[dict]:
+    """Convert records to Chrome ``trace_event`` objects.
+
+    Task executions and commits become ``B``/``E`` duration pairs (one
+    thread row per processor; commits on a dedicated "commit token" row),
+    the remaining events instant markers. Sampling applies to instants
+    only — thinning a ``B``/``E`` stream would unbalance the pairs and
+    corrupt the timeline. Pairs are matched per ``(track, task_id)``: an
+    ``E`` always closes on the tid its ``B`` opened on, and an end with
+    no open begin (a task squashed *after* it already finished but
+    before commit) degrades to an instant instead of an orphan ``E``.
+    """
+    if sample_instants_every < 1:
+        raise ValueError("sample_instants_every must be >= 1")
+    events: list[dict] = []
+    instants_seen = 0
+    open_tids: dict[tuple[str, int], list[int]] = {}
+
+    def instant(record: TraceRecord, proc: int) -> None:
+        nonlocal instants_seen
+        instants_seen += 1
+        if (instants_seen - 1) % sample_instants_every:
+            return
+        events.append({
+            "name": record.event.value,
+            "cat": "protocol",
+            "ph": "i",
+            "s": "t",
+            "ts": record.time,
+            "pid": 0,
+            "tid": proc,
+            "args": {"task": record.task_id,
+                     "detail": record.detail},
+        })
+
+    for record in records:
+        proc = record.proc_id if record.proc_id is not None else -1
+        if record.event in _DURATION_BEGIN:
+            track = _DURATION_BEGIN[record.event]
+            tid = proc if track == "task" else 10_000
+            open_tids.setdefault((track, record.task_id), []).append(tid)
+            events.append({
+                "name": f"{track} {record.task_id}",
+                "cat": track,
+                "ph": "B",
+                "ts": record.time,
+                "pid": 0,
+                "tid": tid,
+            })
+        elif record.event in _DURATION_END:
+            track = _DURATION_END[record.event]
+            stack = open_tids.get((track, record.task_id))
+            if not stack:
+                instant(record, proc)
+                continue
+            events.append({
+                "name": f"{track} {record.task_id}",
+                "cat": track,
+                "ph": "E",
+                "ts": record.time,
+                "pid": 0,
+                "tid": stack.pop(),
+            })
+        else:
+            instant(record, proc)
+    return events
+
+
+def export_chrome_trace(
+    records: Iterable[TraceRecord],
+    path: str | Path,
+    *,
+    sample_instants_every: int = 1,
+    max_bytes: int | None = None,
+) -> ExportStats:
+    """Write a Chrome ``trace_event`` JSON file for ``about://tracing``.
+
+    The byte cap truncates whole trailing events (never mid-object), so
+    the output stays parseable; ``stats.truncated`` reports when it hit.
+    """
+    records = list(records)
+    events = chrome_trace_events(
+        records, sample_instants_every=sample_instants_every)
+    if max_bytes is not None:
+        # Drop trailing events until the serialized document fits.
+        truncated = False
+        while events:
+            blob = json.dumps({"traceEvents": events,
+                               "displayTimeUnit": "ns"})
+            if len(blob) <= max_bytes:
+                break
+            events = events[:max(0, len(events) - max(1, len(events) // 8))]
+            truncated = True
+        else:
+            blob = json.dumps({"traceEvents": [], "displayTimeUnit": "ns"})
+    else:
+        truncated = False
+        blob = json.dumps({"traceEvents": events, "displayTimeUnit": "ns"})
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(blob)
+    return ExportStats(records_total=len(records),
+                       records_written=len(events),
+                       bytes_written=len(blob), truncated=truncated)

@@ -72,6 +72,7 @@ class CycleAccount:
         return {c: cycles[c.index] for c in CycleCategory}
 
     def add(self, category: CycleCategory, cycles: float) -> None:
+        """Accrue ``cycles`` to ``category``."""
         if cycles < 0:
             raise SimulationError(
                 f"negative cycle charge {cycles} for {category}"
@@ -79,12 +80,15 @@ class CycleAccount:
         self._cycles[category.index] += cycles
 
     def total(self) -> float:
+        """Sum across all categories."""
         return sum(self._cycles)
 
     def busy(self) -> float:
+        """Cycles spent executing instructions."""
         return self._cycles[CycleCategory.BUSY.index]
 
     def stall(self) -> float:
+        """Cycles spent in any stall category."""
         cycles = self._cycles
         return sum(cycles[i] for i in _STALL_INDICES)
 
@@ -116,6 +120,8 @@ class Processor:
     # ------------------------------------------------------------------
     def park(self, now: float, category: CycleCategory,
              sv_blocker: int | None = None) -> None:
+        """Block the processor until ``unpark`` (SingleT / MultiT&SV stalls).
+        """
         if self.parked_since is not None:
             raise SimulationError(
                 f"P{self.proc_id} parked twice (already {self.parked_category})"
@@ -125,6 +131,7 @@ class Processor:
         self.sv_blocker = sv_blocker
 
     def unpark(self, now: float) -> None:
+        """Release a parked processor and account the stalled span."""
         if self.parked_since is None:
             raise SimulationError(f"P{self.proc_id} unparked while not parked")
         if self.parked_category is None:
@@ -149,6 +156,7 @@ class Processor:
                 if r.state is not TaskState.COMMITTED]
 
     def drop_resident(self, task_id: int) -> None:
+        """Forget a resident task (after commit or squash)."""
         self.resident.pop(task_id, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

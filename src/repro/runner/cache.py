@@ -33,6 +33,7 @@ def default_cache_root() -> Path:
 
 @dataclass
 class CacheStats:
+    """Hit/miss/store counters for one cache instance."""
     hits: int = 0
     misses: int = 0
     stores: int = 0

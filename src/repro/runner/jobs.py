@@ -42,6 +42,7 @@ class WorkloadSpec:
     iterations_per_task: float = 1.0
 
     def generate(self) -> Workload:
+        """Build (and memoize) the workload this spec describes."""
         from repro.workloads.apps import APPLICATIONS
 
         return APPLICATIONS[self.app].generate(
@@ -84,8 +85,19 @@ class SimJob:
     #: identity anyway: a checked run *proves* its invariants held, and a
     #: replayed unchecked result must never masquerade as that proof.
     check_invariants: bool = False
+    #: Attach a :class:`repro.obs.MetricsHook` and carry its snapshot on
+    #: ``result.metrics`` (and through worker/cache payloads). A pure
+    #: observer, but part of the cache identity: a replayed plain result
+    #: has no metrics to offer.
+    collect_metrics: bool = False
+    #: Attach a :class:`~repro.core.trace.TraceRecorder` and carry it on
+    #: ``result.trace``. Traced jobs always execute live in-process —
+    #: the recorder cannot cross a process or disk boundary — and are
+    #: never stored in (or loaded from) the result cache.
+    traced: bool = False
 
     def resolve_workload(self) -> Workload:
+        """The concrete workload for this job (generated if needed)."""
         if isinstance(self.workload, WorkloadSpec):
             return _generate_cached(self.workload)
         return self.workload
@@ -97,6 +109,7 @@ class SimJob:
         return self.workload.name
 
     def describe(self) -> str:
+        """Human-readable one-line job description."""
         scheme = self.scheme.name if self.scheme else "sequential"
         return f"{self.machine.name} / {scheme} / {self.workload_name}"
 
@@ -113,6 +126,8 @@ class SimJob:
             "high_level_patterns": self.high_level_patterns,
             "violation_granularity": self.violation_granularity,
             "check_invariants": self.check_invariants,
+            "collect_metrics": self.collect_metrics,
+            "traced": self.traced,
         }
 
     def cache_key(self) -> str:

@@ -31,23 +31,48 @@ from repro.runner.jobs import SimJob
 
 
 def execute_job(job: SimJob) -> SimulationResult | SequentialResult:
-    """Run one job in the current process and return its live result."""
+    """Run one job in the current process and return its live result.
+
+    Observation attachments requested by the job — invariant checker,
+    metrics hook, trace recorder — are composed here; all are pure
+    observers, so the result is bit-identical with or without them.
+    """
     workload = job.resolve_workload()
     if job.scheme is None:
         return simulate_sequential(job.machine, workload)
-    hook = None
+    hooks = []
     if job.check_invariants:
         # Imported lazily: repro.validate depends on repro.runner for the
         # conformance oracle's fan-out.
         from repro.validate.invariants import InvariantChecker
 
-        hook = InvariantChecker()
-    return Simulation(
+        hooks.append(InvariantChecker())
+    if job.collect_metrics:
+        from repro.obs.metrics import MetricsHook
+
+        hooks.append(MetricsHook())
+    hook = None
+    if len(hooks) == 1:
+        hook = hooks[0]
+    elif hooks:
+        from repro.core.hooks import CompositeHook
+
+        hook = CompositeHook(hooks)
+    trace = None
+    if job.traced:
+        from repro.core.trace import TraceRecorder
+
+        trace = TraceRecorder()
+    result = Simulation(
         job.machine, job.scheme, workload,
         high_level_patterns=job.high_level_patterns,
         violation_granularity=job.violation_granularity,
         hook=hook,
+        trace=trace,
     ).run()
+    if trace is not None:
+        result.trace = trace
+    return result
 
 
 def payload_from_result(
@@ -61,7 +86,13 @@ def payload_from_result(
 
     if isinstance(result, SequentialResult):
         return sequential_result_to_dict(result)
-    return result_to_dict(result, full=True)
+    payload = result_to_dict(result, full=True)
+    # Metrics ride the payload (never the canonical serialized form), so
+    # pooled and cache-replayed metric jobs still carry their snapshot.
+    metrics = getattr(result, "metrics", None)
+    if metrics is not None:
+        payload["metrics"] = metrics.to_dict()
+    return payload
 
 
 def result_from_payload(
@@ -75,7 +106,13 @@ def result_from_payload(
 
     if payload.get("kind") == "sequential":
         return sequential_result_from_dict(payload)
-    return result_from_dict(payload)
+    metrics = payload.pop("metrics", None)
+    result = result_from_dict(payload)
+    if metrics is not None:
+        from repro.obs.metrics import MetricsSnapshot
+
+        result.metrics = MetricsSnapshot.from_dict(metrics)
+    return result
 
 
 def _worker(job: SimJob) -> tuple[str, dict[str, Any]]:
@@ -122,6 +159,11 @@ class SweepRunner:
             if key in seen:
                 continue
             seen.add(key)
+            if job.traced:
+                # A trace recorder lives only in this process: traced jobs
+                # run live and bypass the cache in both directions.
+                by_key[key] = execute_job(job)
+                continue
             payload = self.cache.load(key) if self.cache is not None else None
             if payload is not None:
                 by_key[key] = result_from_payload(payload)

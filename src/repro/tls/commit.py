@@ -16,6 +16,7 @@ from repro.errors import ProtocolError
 
 @dataclass
 class CommitStats:
+    """Counters for the commit token protocol."""
     commits: int = 0
     #: Total cycles the token was held (sum of commit durations).
     token_hold_cycles: float = 0.0
@@ -42,9 +43,11 @@ class CommitController:
         return self._in_flight
 
     def can_commit(self, task_id: int) -> bool:
+        """True when ``task_id`` is next in order and the token is free."""
         return self.token_free and task_id == self.next_to_commit
 
     def begin_commit(self, task_id: int, now: float) -> None:
+        """Take the token for ``task_id``."""
         if not self.can_commit(task_id):
             raise ProtocolError(
                 f"task {task_id} cannot commit now (next={self.next_to_commit}, "
@@ -53,6 +56,7 @@ class CommitController:
         self._in_flight = task_id
 
     def finish_commit(self, task_id: int, start: float, end: float) -> None:
+        """Release the token and advance the commit wavefront."""
         if self._in_flight != task_id:
             raise ProtocolError(
                 f"finishing commit of task {task_id} but "

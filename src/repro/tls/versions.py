@@ -34,6 +34,7 @@ class _WordState:
 
 @dataclass
 class DirectoryStats:
+    """Counters for version-directory traffic."""
     reads: int = 0
     writes: int = 0
     violations: int = 0
@@ -204,6 +205,7 @@ class VersionDirectory:
             yield word, state.producers, state.readers
 
     def producers_of(self, word_addr: int) -> list[int]:
+        """Task IDs with a live version of ``word_addr``, in order."""
         state = self._words.get(word_addr)
         return list(state.producers) if state else []
 
@@ -225,6 +227,7 @@ class VersionDirectory:
         return self.latest_version_at_most(word_addr, bound - 1)
 
     def has_version(self, word_addr: int, producer: int) -> bool:
+        """True when ``producer`` holds a live version of ``word_addr``."""
         state = self._words.get(word_addr)
         if state is None:
             return False
@@ -245,4 +248,5 @@ class VersionDirectory:
         }
 
     def words_written(self) -> set[int]:
+        """Every word address with at least one recorded version."""
         return {w for w, s in self._words.items() if s.producers}

@@ -85,10 +85,12 @@ class InvariantChecker(SimulationHook):
     # Hook callbacks
     # ------------------------------------------------------------------
     def on_start(self, sim: "Simulation") -> None:
+        """Capture the workload facts the invariants are checked against."""
         self._last_now = 0.0
         self._last_next_to_commit = sim.commit.next_to_commit
 
     def after_event(self, sim: "Simulation", now: float) -> None:
+        """Run the cheap per-event checks; deep-sweep every ``deep_every``."""
         self.events_checked += 1
         self._check_cheap(sim, now)
         self._countdown -= 1
@@ -97,6 +99,7 @@ class InvariantChecker(SimulationHook):
             self.deep_check(sim)
 
     def on_finish(self, sim: "Simulation", result: "SimulationResult") -> None:
+        """Run the full end-of-loop sweep."""
         self.deep_check(sim)
         self._check_finish(sim, result)
 

@@ -67,6 +67,7 @@ class Workload:
         return len(self.tasks)
 
     def is_priv(self, word_addr: int) -> bool:
+        """True when ``word_addr`` falls in the privatization region."""
         return self.priv_predicate_base <= word_addr < self.priv_predicate_limit
 
     # ------------------------------------------------------------------
@@ -129,6 +130,7 @@ class Workload:
         return priv / total if total else 0.0
 
     def mean_instructions(self) -> float:
+        """Mean instruction count per task."""
         return sum(t.instructions for t in self.tasks) / self.n_tasks
 
     def imbalance_cv(self) -> float:

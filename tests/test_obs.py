@@ -1,0 +1,306 @@
+"""Observability layer: metrics hook, trace export, report claims.
+
+The load-bearing contract: observation is free and invisible. A run with
+a metrics hook and/or a trace recorder attached produces bit-identical
+results to a plain run (asserted against ``canonical_result_bytes``),
+and the exports are deterministic — same records in, same bytes out.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.serialization import canonical_result_bytes
+from repro.core.config import NUMA_16
+from repro.core.taxonomy import (
+    MULTI_T_MV_FMM,
+    MULTI_T_MV_LAZY,
+    SINGLE_T_EAGER,
+)
+from repro.core.trace import TraceEvent, TraceRecord
+from repro.obs import (
+    Histogram,
+    MetricsSnapshot,
+    aggregate_by_scheme,
+    export_chrome_trace,
+    export_jsonl,
+    load_jsonl,
+)
+from repro.obs.trace_export import record_from_dict, record_to_dict
+from repro.runner import ResultCache, SimJob, SweepRunner, WorkloadSpec
+
+SCALE = 0.15
+
+
+def _job(scheme=MULTI_T_MV_LAZY, **kwargs):
+    return SimJob(
+        machine=NUMA_16,
+        workload=WorkloadSpec("Euler", seed=0, scale=SCALE),
+        scheme=scheme,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SweepRunner(jobs=1, cache=None)
+
+
+@pytest.fixture(scope="module")
+def traced_result(runner):
+    return runner.run(_job(traced=True))
+
+
+# ----------------------------------------------------------------------
+# Observation is invisible: bit-identity
+# ----------------------------------------------------------------------
+def test_instrumented_runs_are_bit_identical_to_plain(runner, traced_result):
+    plain = canonical_result_bytes(runner.run(_job()))
+    metric = runner.run(_job(collect_metrics=True))
+    both = runner.run(_job(collect_metrics=True, traced=True))
+    assert canonical_result_bytes(metric) == plain
+    assert canonical_result_bytes(traced_result) == plain
+    assert canonical_result_bytes(both) == plain
+
+
+def test_observation_flags_are_part_of_the_cache_identity():
+    base = _job().cache_key()
+    assert _job(collect_metrics=True).cache_key() != base
+    assert _job(traced=True).cache_key() != base
+    assert (_job(collect_metrics=True).cache_key()
+            != _job(traced=True).cache_key())
+
+
+def test_traced_jobs_never_touch_the_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    runner = SweepRunner(jobs=1, cache=cache)
+    result = runner.run(_job(traced=True))
+    assert result.trace is not None and len(result.trace) > 0
+    assert len(cache) == 0  # nothing stored
+    # And a second run re-traces live instead of replaying.
+    again = runner.run(_job(traced=True))
+    assert again.trace is not None
+    assert cache.stats.hits == 0
+
+
+def test_metrics_survive_pool_and_cache_replay(tmp_path):
+    job = _job(collect_metrics=True)
+    sibling = _job(scheme=MULTI_T_MV_FMM, collect_metrics=True)
+    serial = SweepRunner(jobs=1, cache=None).run(job)
+    pooled = SweepRunner(jobs=2, cache=None).run_many([job, sibling])[0]
+
+    cache = ResultCache(tmp_path)
+    SweepRunner(jobs=1, cache=cache).run(job)
+    replayed = SweepRunner(jobs=1, cache=ResultCache(tmp_path)).run(job)
+
+    assert serial.metrics is not None
+    for other in (pooled, replayed):
+        assert other.metrics is not None
+        assert other.metrics.to_dict() == serial.metrics.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Metrics content
+# ----------------------------------------------------------------------
+def test_metric_counters_match_result_statistics(runner):
+    result = runner.run(_job(collect_metrics=True))
+    counters = result.metrics.counters
+    assert counters["squash.events"] == result.violation_events
+    assert counters["squash.task_executions"] == result.squashed_executions
+    assert (counters.get("overflow.spills", 0)
+            == result.traffic.overflow_spills)
+    assert (counters["network.memory_fetches"]
+            == result.traffic.memory_fetches)
+    assert counters["cycles.total"] == result.total_cycles
+    assert counters["events.processed"] == result.events_processed
+    assert counters["commit.completed"] == result.n_tasks
+    assert len(result.metrics.per_task) == len(result.task_timings)
+
+
+def test_directory_lookups_are_counted(runner):
+    result = runner.run(_job(collect_metrics=True))
+    assert result.metrics.counters["directory.writes"] > 0
+    assert result.metrics.counters["directory.reads"] > 0
+
+
+def test_snapshot_round_trips_through_dict(runner):
+    snap = runner.run(_job(collect_metrics=True)).metrics
+    clone = MetricsSnapshot.from_dict(
+        json.loads(json.dumps(snap.to_dict())))
+    assert clone.to_dict() == snap.to_dict()
+
+
+def test_aggregate_by_scheme_sums_counters(runner):
+    a = runner.run(_job(collect_metrics=True))
+    b = runner.run(SimJob(
+        machine=NUMA_16,
+        workload=WorkloadSpec("Apsi", seed=0, scale=SCALE),
+        scheme=MULTI_T_MV_LAZY, collect_metrics=True))
+    merged = aggregate_by_scheme([a, b])
+    assert list(merged) == [MULTI_T_MV_LAZY.name]
+    agg = merged[MULTI_T_MV_LAZY.name]
+    assert agg.runs == 2
+    assert agg.counters["cycles.total"] == pytest.approx(
+        a.metrics.counters["cycles.total"]
+        + b.metrics.counters["cycles.total"])
+    assert len(agg.per_task) == len(a.metrics.per_task) + len(
+        b.metrics.per_task)
+    # Results without metrics are skipped, not an error.
+    assert aggregate_by_scheme([runner.run(_job())]) == {}
+
+
+def test_histogram_buckets_and_merge():
+    hist = Histogram(bounds=(1.0, 10.0))
+    for v in (0.5, 5.0, 50.0):
+        hist.observe(v)
+    assert hist.counts == [1, 1, 1]
+    assert hist.mean() == pytest.approx(55.5 / 3)
+    other = Histogram(bounds=(1.0, 10.0))
+    other.observe(2.0)
+    hist.merge(other)
+    assert hist.count == 4 and hist.counts == [1, 2, 1]
+    with pytest.raises(ValueError):
+        hist.merge(Histogram(bounds=(2.0,)))
+
+
+# ----------------------------------------------------------------------
+# Trace export
+# ----------------------------------------------------------------------
+def test_jsonl_round_trip_is_exact_and_deterministic(traced_result,
+                                                     tmp_path):
+    records = list(traced_result.trace)
+    assert records, "traced run produced no records"
+    stats = export_jsonl(records, tmp_path / "a.jsonl")
+    assert stats.records_written == len(records)
+    assert not stats.truncated
+    assert load_jsonl(tmp_path / "a.jsonl") == records
+    export_jsonl(records, tmp_path / "b.jsonl")
+    assert ((tmp_path / "a.jsonl").read_bytes()
+            == (tmp_path / "b.jsonl").read_bytes())
+
+
+def test_jsonl_sampling_keeps_every_nth(traced_result, tmp_path):
+    records = list(traced_result.trace)
+    export_jsonl(records, tmp_path / "s.jsonl", sample_every=3)
+    sampled = load_jsonl(tmp_path / "s.jsonl")
+    assert sampled == records[::3]
+    with pytest.raises(ValueError):
+        export_jsonl(records, tmp_path / "x.jsonl", sample_every=0)
+
+
+def test_jsonl_respects_the_byte_cap(traced_result, tmp_path):
+    records = list(traced_result.trace)
+    cap = 1_000
+    stats = export_jsonl(records, tmp_path / "c.jsonl", max_bytes=cap)
+    assert stats.truncated
+    assert stats.bytes_written <= cap
+    assert (tmp_path / "c.jsonl").stat().st_size <= cap
+    assert stats.records_dropped > 0
+    # Every surviving line is still complete, parseable JSON.
+    kept = load_jsonl(tmp_path / "c.jsonl")
+    assert kept == records[:stats.records_written]
+
+
+def test_record_dict_round_trip_covers_optional_fields():
+    full = TraceRecord(TraceEvent.VIOLATION, 12.5, 3, proc_id=1, detail=7)
+    bare = TraceRecord(TraceEvent.TASK_START, 0.0, 0)
+    for record in (full, bare):
+        assert record_from_dict(record_to_dict(record)) == record
+
+
+def test_chrome_trace_pairs_balance_and_cap_holds(traced_result, tmp_path):
+    records = list(traced_result.trace)
+    path = tmp_path / "t.trace.json"
+    stats = export_chrome_trace(records, path, sample_instants_every=2)
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    assert stats.records_written == len(events)
+    # Duration events balance per (tid, name): every B has its E.
+    opens = {}
+    for ev in events:
+        key = (ev["tid"], ev["name"])
+        if ev["ph"] == "B":
+            opens[key] = opens.get(key, 0) + 1
+        elif ev["ph"] == "E":
+            assert opens.get(key, 0) > 0, f"E without B: {key}"
+            opens[key] -= 1
+    assert all(v == 0 for v in opens.values())
+
+    capped = export_chrome_trace(records, tmp_path / "capped.json",
+                                 max_bytes=2_000)
+    assert capped.truncated
+    assert (tmp_path / "capped.json").stat().st_size <= 2_000
+    json.loads((tmp_path / "capped.json").read_text())  # still parseable
+
+
+def test_engine_emits_overflow_and_undolog_trace_events(runner):
+    # FMM on a scaled app exercises the undo-log path.
+    fmm = runner.run(_job(scheme=MULTI_T_MV_FMM, traced=True))
+    assert fmm.trace.count(TraceEvent.UNDOLOG_APPEND) > 0
+    # P3m under an AMM scheme overflows the small L2 sets.
+    amm = runner.run(SimJob(
+        machine=NUMA_16,
+        workload=WorkloadSpec("P3m", seed=0, scale=0.25),
+        scheme=MULTI_T_MV_LAZY, traced=True))
+    spills = amm.trace.count(TraceEvent.OVERFLOW_SPILL)
+    assert spills == amm.traffic.overflow_spills > 0
+
+
+# ----------------------------------------------------------------------
+# Claim badges (synthetic figure data; the real grid runs in CI)
+# ----------------------------------------------------------------------
+def _bars(machine_name, schemes, cells, title="t"):
+    from repro.analysis.experiments import SchemeBarsResult
+
+    averages = {
+        s.name: sum(per[s.name][0] for per in cells.values()) / len(cells)
+        for s in schemes
+    }
+    return SchemeBarsResult(machine_name=machine_name, schemes=schemes,
+                            cells=cells, averages=averages, title=title)
+
+
+def test_evaluate_claims_on_synthetic_paper_shaped_data():
+    from repro.analysis.experiments import Figure10Result
+    from repro.core.taxonomy import (
+        MULTI_T_MV_EAGER,
+        MULTI_T_MV_FMM_SW,
+        MULTI_T_SV_EAGER,
+    )
+    from repro.obs.report import evaluate_claims
+    from repro.workloads.apps import APPLICATION_ORDER, APPLICATIONS
+
+    fig9_schemes = (SINGLE_T_EAGER, MULTI_T_SV_EAGER, MULTI_T_MV_EAGER,
+                    MULTI_T_MV_LAZY)
+    fig9_cells = {}
+    for app in APPLICATION_ORDER:
+        priv = APPLICATIONS[app].paper.priv_pattern == "High"
+        fig9_cells[app] = {
+            SINGLE_T_EAGER.name: (1.0, 0.5, 1.0),
+            # SV degrades toward SingleT only on high-priv apps.
+            MULTI_T_SV_EAGER.name: (0.95 if priv else 0.66, 0.5, 1.0),
+            MULTI_T_MV_EAGER.name: (0.65, 0.6, 1.5),
+            MULTI_T_MV_LAZY.name: (0.55, 0.7, 1.8),
+        }
+    fig9 = _bars("NUMA", fig9_schemes, fig9_cells)
+
+    fig10_schemes = (MULTI_T_MV_EAGER, MULTI_T_MV_LAZY, MULTI_T_MV_FMM,
+                     MULTI_T_MV_FMM_SW)
+    fig10_cells = {}
+    for app in APPLICATION_ORDER:
+        lazy = 0.80
+        fmm = {"P3m": 0.60, "Euler": 0.95}.get(app, 0.81)
+        fig10_cells[app] = {
+            MULTI_T_MV_EAGER.name: (1.0, 0.6, 1.5),
+            MULTI_T_MV_LAZY.name: (lazy, 0.7, 1.8),
+            MULTI_T_MV_FMM.name: (fmm, 0.7, 1.8),
+            MULTI_T_MV_FMM_SW.name: (fmm * 1.06, 0.7, 1.7),
+        }
+    fig10 = Figure10Result(
+        bars=_bars("NUMA", fig10_schemes, fig10_cells),
+        lazy_l2={"P3m": (0.7, 0.6, 1.6)},
+    )
+
+    badges = evaluate_claims(fig9, fig10, fig9)
+    assert [b.passed for b in badges] == [True, True, True, True]
+    assert len({b.key for b in badges}) == 4
