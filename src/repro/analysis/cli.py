@@ -13,6 +13,8 @@ Commands (each has its own ``--help`` with examples):
 * ``repro-tls validate`` — the conformance oracle + runtime invariants.
 * ``repro-tls report`` — build the HTML/Markdown reproduction report
   under ``docs/report/``.
+* ``repro-tls explore`` — design-space sensitivity sweeps, crossover
+  search, and the complexity/performance Pareto frontier.
 
 ``--smoke`` (on ``bench``/``validate``/``report``) means: small
 workloads at scale 0.1, a fixed two-app subset where applicable,
@@ -225,15 +227,59 @@ def _run_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_list(_args: argparse.Namespace) -> int:
-    for name in EXPERIMENTS:
-        print(name)
-    for command in ("run", "sweep", "bench", "validate", "report"):
-        print(command)
+def _run_explore(args: argparse.Namespace) -> int:
+    from repro.core.config import MACHINES
+    from repro.explore import AXES, build_explore
+    from repro.workloads.apps import APPLICATIONS
+
+    apps = axes = None
+    if args.apps:
+        apps = tuple(a.strip() for a in args.apps.split(",") if a.strip())
+        unknown = [a for a in apps if a not in APPLICATIONS]
+        if unknown:
+            print(f"unknown application(s): {', '.join(unknown)}; "
+                  f"known: {', '.join(APPLICATIONS)}", file=sys.stderr)
+            return 2
+    if args.axes:
+        axes = tuple(a.strip() for a in args.axes.split(",") if a.strip())
+        unknown = [a for a in axes if a not in AXES]
+        if unknown:
+            print(f"unknown axis/axes: {', '.join(unknown)}; "
+                  f"known: {', '.join(AXES)}", file=sys.stderr)
+            return 2
+
+    # Like `report --smoke`, exploration smoke runs at scale 0.25: the
+    # buffer-pressure effects its axes probe only emerge with enough
+    # tasks in flight.
+    scale = 0.25 if args.smoke else args.scale
+    paths = build_explore(
+        args.out, scale=scale, seed=args.seed, jobs=args.jobs,
+        cache=not args.no_cache, smoke=args.smoke,
+        base=MACHINES[args.machine], apps=apps, axes=axes,
+    )
+    print(f"exploration report written to {paths['html']}")
+    print(f"markdown companion at {paths['markdown']}")
     return 0
 
 
-_COMMANDS = ("run", "sweep", "bench", "validate", "report", "list")
+def _run_list(_args: argparse.Namespace) -> int:
+    from repro.explore import describe_machine, machine_registry
+
+    print("experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print("commands:")
+    for command in ("run", "sweep", "bench", "validate", "report",
+                    "explore"):
+        print(f"  {command}")
+    print("machines (presets + derived explore variants):")
+    for name, machine in machine_registry().items():
+        print(f"  {name:<36} {describe_machine(machine)}")
+    return 0
+
+
+_COMMANDS = ("run", "sweep", "bench", "validate", "report", "explore",
+             "list")
 
 _DESCRIPTION = (
     "Reproduce tables/figures from 'Tradeoffs in Buffering Memory State "
@@ -250,6 +296,7 @@ examples:
   repro-tls bench --smoke              # CI perf + determinism gate
   repro-tls validate --smoke           # CI conformance gate
   repro-tls report --smoke             # build docs/report/index.html
+  repro-tls explore --smoke            # design-space sweeps + frontier
 """
 
 
@@ -389,6 +436,41 @@ examples:
     p_report.add_argument("--out", default="docs/report",
                           help="output directory (default docs/report)")
     p_report.set_defaults(func=_run_report)
+
+    p_explore = sub.add_parser(
+        "explore", help="design-space sensitivity sweeps + Pareto frontier",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+derives machine variants along named axes (l2_size, l2_assoc, n_procs,
+overflow_capacity, hop_latency, squash_cost, commit_cost), sweeps each
+axis over the scheme ladder, locates the Section 7.3 crossover points
+(the L2 size where Lazy closes the FMM gap on P3m; the processor count
+where MultiT&MV's gain saturates), classifies the complexity/performance
+Pareto frontier, and renders docs/report/explore.html + explore.md +
+sensitivity SVGs. deterministic: a warm-cache rebuild is byte-identical.
+
+examples:
+  repro-tls explore --smoke              # CI configuration (3 axes, 2 apps)
+  repro-tls explore --axes l2_size,n_procs --apps P3m
+  repro-tls explore --machine cmp8 --scale 0.5 --jobs 8
+""")
+    _add_common(p_explore)
+    p_explore.add_argument("--smoke", action="store_true",
+                           help="smoke mode: scale 0.25, axes l2_size/"
+                                "n_procs/overflow_capacity, apps P3m+Euler; "
+                                "the configuration CI builds and uploads")
+    p_explore.add_argument("--machine", default="numa16",
+                           choices=["numa16", "numa16-bigl2", "cmp8"],
+                           help="base machine the axes vary (default numa16)")
+    p_explore.add_argument("--apps", default=None, metavar="A,B,...",
+                           help="comma-separated applications "
+                                "(default: P3m,Euler,Apsi; smoke: P3m,Euler)")
+    p_explore.add_argument("--axes", default=None, metavar="X,Y,...",
+                           help="comma-separated axes (default: all; smoke: "
+                                "l2_size,n_procs,overflow_capacity)")
+    p_explore.add_argument("--out", default="docs/report",
+                           help="output directory (default docs/report)")
+    p_explore.set_defaults(func=_run_explore)
 
     return parser
 

@@ -153,6 +153,138 @@ def render_grouped_bars_svg(
     ])
 
 
+#: Print-friendly line colors, cycled by series index.
+LINE_COLORS = ("#26547c", "#b42318", "#1a7f37", "#b8860b",
+               "#6a3d9a", "#0e7c86", "#874f2c", "#555555")
+
+
+@dataclass(frozen=True)
+class LineSeries:
+    """One polyline of a sensitivity chart: a label and its y values."""
+
+    label: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ConfigurationError(
+                f"series {self.label!r} has no values")
+
+
+def render_line_chart_svg(
+    series: list[LineSeries],
+    x_labels: list[str],
+    title: str,
+    *,
+    y_label: str = "normalized time",
+    plot_width: int = 360,
+    plot_height: int = 220,
+) -> str:
+    """Render sensitivity curves as a standalone SVG document.
+
+    Categorical x axis (one tick per axis value, evenly spaced), y from
+    zero to the peak value, a dashed reference line at 1.0 (the
+    sequential baseline), one colored polyline with point markers per
+    series, and a legend. Output is deterministic: fixed float
+    formatting, no timestamps.
+    """
+    if not series:
+        raise ConfigurationError("no series to render")
+    for s in series:
+        if len(s.values) != len(x_labels):
+            raise ConfigurationError(
+                f"series {s.label!r} has {len(s.values)} values for "
+                f"{len(x_labels)} x labels")
+
+    peak = max(max(s.values) for s in series)
+    peak = max(peak, 1.0, 1e-9)
+
+    margin_left = 52
+    margin_top = 40
+    margin_bottom = 40
+    baseline = margin_top + plot_height
+    n = len(x_labels)
+    step = plot_width / max(n - 1, 1)
+
+    def esc(text: str) -> str:
+        return html.escape(text, quote=True)
+
+    def x_at(i: int) -> float:
+        return margin_left + i * step
+
+    def y_at(value: float) -> float:
+        return baseline - plot_height * value / peak
+
+    reference_y = y_at(1.0)
+    elements = [
+        f'<line x1="{margin_left}" y1="{baseline}" '
+        f'x2="{margin_left + plot_width}" y2="{baseline}" '
+        f'stroke="{AXIS_COLOR}" stroke-width="1"/>',
+        f'<line x1="{margin_left}" y1="{margin_top}" '
+        f'x2="{margin_left}" y2="{baseline}" '
+        f'stroke="{AXIS_COLOR}" stroke-width="1"/>',
+        f'<line x1="{margin_left}" y1="{reference_y:.1f}" '
+        f'x2="{margin_left + plot_width}" y2="{reference_y:.1f}" '
+        f'stroke="{AXIS_COLOR}" stroke-width="0.5" '
+        f'stroke-dasharray="4 3"/>',
+        f'<text x="{margin_left - 6}" y="{reference_y + 3:.1f}" '
+        f'font-size="8" text-anchor="end" fill="{TEXT_COLOR}">1.0</text>',
+        f'<text x="{margin_left - 6}" y="{margin_top + 3}" font-size="8" '
+        f'text-anchor="end" fill="{TEXT_COLOR}">{peak:.2f}</text>',
+        f'<text x="{margin_left - 6}" y="{baseline + 3}" font-size="8" '
+        f'text-anchor="end" fill="{TEXT_COLOR}">0</text>',
+        f'<text x="14" y="{margin_top + plot_height / 2:.1f}" '
+        f'font-size="9" text-anchor="middle" fill="{TEXT_COLOR}" '
+        f'transform="rotate(-90 14 {margin_top + plot_height / 2:.1f})">'
+        f'{esc(y_label)}</text>',
+    ]
+    for i, label in enumerate(x_labels):
+        elements.append(
+            f'<text x="{x_at(i):.1f}" y="{baseline + 14}" font-size="8" '
+            f'text-anchor="middle" fill="{TEXT_COLOR}">{esc(label)}</text>'
+        )
+        elements.append(
+            f'<line x1="{x_at(i):.1f}" y1="{baseline}" x2="{x_at(i):.1f}" '
+            f'y2="{baseline + 3}" stroke="{AXIS_COLOR}" stroke-width="1"/>'
+        )
+
+    legend_x = margin_left + plot_width + 16
+    for idx, s in enumerate(series):
+        color = LINE_COLORS[idx % len(LINE_COLORS)]
+        points = " ".join(f"{x_at(i):.1f},{y_at(v):.1f}"
+                          for i, v in enumerate(s.values))
+        elements.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.5"/>'
+        )
+        elements.extend(
+            f'<circle cx="{x_at(i):.1f}" cy="{y_at(v):.1f}" r="2.2" '
+            f'fill="{color}"/>'
+            for i, v in enumerate(s.values)
+        )
+        legend_y = margin_top + 4 + idx * 14
+        elements.append(
+            f'<line x1="{legend_x}" y1="{legend_y}" x2="{legend_x + 16}" '
+            f'y2="{legend_y}" stroke="{color}" stroke-width="2"/>'
+        )
+        elements.append(
+            f'<text x="{legend_x + 20}" y="{legend_y + 3}" font-size="8" '
+            f'fill="{TEXT_COLOR}">{esc(s.label)}</text>'
+        )
+
+    width = legend_x + 150
+    height = baseline + margin_bottom
+    return "\n".join([
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{margin_left}" y="16" font-size="12" font-weight="bold" '
+        f'fill="{TEXT_COLOR}">{esc(title)}</text>',
+        *elements,
+        "</svg>",
+    ])
+
+
 def scheme_bars_to_svg(result, title: str | None = None) -> str:
     """Render a :class:`~repro.analysis.experiments.SchemeBarsResult`.
 

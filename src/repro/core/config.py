@@ -128,6 +128,18 @@ class CostModel:
     #: Cost of one ORB ownership request at commit (cheaper than a data
     #: write-back: only a coherence transaction, no data transfer).
     orb_request_per_line: int = 36
+    #: Per-processor overflow-area reservation, in cache lines. The paper
+    #: assumes an overflow area large enough for any working set
+    #: (``None`` = unbounded, the default — timing is then unchanged).
+    #: With a finite capacity, versions beyond the reservation live in
+    #: pageable memory and every access to them pays
+    #: :attr:`overflow_excess_penalty` on top of the usual overflow costs
+    #: — the knob the design-space exploration's overflow axis sweeps.
+    overflow_capacity_lines: int | None = None
+    #: Extra cycles per access to an overflow line beyond
+    #: :attr:`overflow_capacity_lines` (ignored while capacity is
+    #: unbounded).
+    overflow_excess_penalty: int = 60
 
     def __post_init__(self) -> None:
         if self.ipc <= 0:
@@ -136,6 +148,11 @@ class CostModel:
             raise ConfigurationError(
                 f"eager_commit_mode must be 'writeback' or 'orb', got "
                 f"{self.eager_commit_mode!r}")
+        if (self.overflow_capacity_lines is not None
+                and self.overflow_capacity_lines <= 0):
+            raise ConfigurationError(
+                f"overflow_capacity_lines must be positive or None, got "
+                f"{self.overflow_capacity_lines}")
 
     def cycles_for_instructions(self, instructions: float) -> float:
         """Busy cycles needed to execute ``instructions`` at the model IPC."""
@@ -281,16 +298,60 @@ MACHINES: dict[str, MachineConfig] = {
 }
 
 
+def _extend_hop_table(table: dict[int, int], diameter: int,
+                      what: str) -> dict[int, int]:
+    """A hop-latency table covering every distance up to ``diameter``.
+
+    The base table must be contiguous (keys exactly ``0..max``); gaps
+    would silently map real hop distances onto the wrong latency, so they
+    are rejected. Distances beyond the table are linearly extrapolated
+    from its last per-hop increment — the per-hop cost of the mesh the
+    base table was measured on.
+    """
+    max_hop = max(table)
+    if sorted(table) != list(range(max_hop + 1)):
+        raise ConfigurationError(
+            f"{what} table has gaps: keys {sorted(table)} are not "
+            f"contiguous from 0; cannot derive latencies for a scaled mesh"
+        )
+    if diameter <= max_hop:
+        return dict(table)
+    if max_hop == 0:
+        raise ConfigurationError(
+            f"{what} table has a single (local) entry; cannot extrapolate "
+            f"latencies out to {diameter} hops"
+        )
+    per_hop = table[max_hop] - table[max_hop - 1]
+    extended = dict(table)
+    for hop in range(max_hop + 1, diameter + 1):
+        extended[hop] = extended[hop - 1] + per_hop
+    return extended
+
+
 def scaled_machine(base: MachineConfig, n_procs: int) -> MachineConfig:
     """A copy of ``base`` with a different processor count.
 
-    Used by tests and ablations; the mesh side grows to the smallest square
-    that holds the processors.
+    Used by tests, ablations, and the design-space exploration's
+    processor-count axis; the mesh side grows to the smallest square that
+    holds the processors. The hop-latency tables are validated
+    (contiguous hop keys) and extended out to the derived mesh diameter by
+    linear extrapolation, so a non-power-of-two or larger-than-base count
+    never silently folds distant nodes onto the base table's last entry.
     """
     if n_procs <= 0:
         raise ConfigurationError(f"n_procs must be positive, got {n_procs}")
     mesh_side = None
+    lat_memory = base.lat_memory_by_hops
+    lat_remote = base.lat_remote_cache_by_hops
     if base.mesh_side is not None:
+        from repro.interconnect import topology
+
         mesh_side = max(1, math.isqrt(n_procs - 1) + 1)
+        diameter = topology(n_procs, mesh_side).diameter
+        lat_memory = _extend_hop_table(lat_memory, diameter, "memory latency")
+        lat_remote = _extend_hop_table(lat_remote, diameter,
+                                       "remote-cache latency")
     return replace(base, n_procs=n_procs, mesh_side=mesh_side,
+                   lat_memory_by_hops=lat_memory,
+                   lat_remote_cache_by_hops=lat_remote,
                    name=f"{base.name}-x{n_procs}")

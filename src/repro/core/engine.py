@@ -389,11 +389,15 @@ class Simulation:
             self._install(proc.l1, proc, line, tid, dirty=True,
                           committed=False, now=now)
             latency = float(self.machine.lat_l2)
-        elif proc.overflow.fetch(line, tid):
-            # Refetch the task's own overflowed version.
+        elif proc.overflow.holds(line, tid):
+            # Refetch the task's own overflowed version (the excess
+            # penalty is judged on occupancy before the version is
+            # removed from the area).
+            excess = self._overflow_excess_penalty(proc)
+            proc.overflow.fetch(line, tid)
             home = self.machine.home_node(line)
             latency = (self._mem_lat[proc.proc_id][home]
-                       + self.costs.overflow_penalty)
+                       + self.costs.overflow_penalty + excess)
             self._install_both(proc, line, tid, dirty=True, now=now)
         else:
             # First write (or version displaced to memory under FMM):
@@ -536,7 +540,8 @@ class Simulation:
                 return lat, committed
             if owner.overflow.holds(line, producer):
                 lat = (self._mem_lat[proc.proc_id][owner_id]
-                       + self.costs.overflow_penalty)
+                       + self.costs.overflow_penalty
+                       + self._overflow_excess_penalty(owner))
                 self.traffic.overflow_fetches += 1
                 return lat, committed
         # Fallback: the version has been merged into (or displaced to)
@@ -618,6 +623,28 @@ class Simulation:
         if self.trace is not None:
             self.trace.emit(TraceEvent.OVERFLOW_SPILL, now, victim.task_id,
                             proc.proc_id, detail=victim.line_addr)
+
+    def _overflow_excess_penalty(self, proc: Processor) -> float:
+        """Extra cycles per overflow access while the area is over capacity.
+
+        The paper sizes the per-processor overflow area for any working
+        set; with a finite :attr:`~repro.core.config.CostModel.\
+        overflow_capacity_lines` (the exploration's overflow axis),
+        versions beyond the reservation live in pageable memory and each
+        access to the overloaded area pays this penalty. Zero when the
+        capacity is unbounded (the default), keeping base timing intact.
+        """
+        cap = self.costs.overflow_capacity_lines
+        if cap is not None and len(proc.overflow) > cap:
+            return float(self.costs.overflow_excess_penalty)
+        return 0.0
+
+    def _overflow_excess_lines(self, proc: Processor, drained: int) -> int:
+        """How many of ``drained`` overflow lines sit beyond capacity."""
+        cap = self.costs.overflow_capacity_lines
+        if cap is None:
+            return 0
+        return min(drained, max(0, len(proc.overflow) - cap))
 
     def _writeback_entry_to_memory(self, entry: CacheLine) -> None:
         run = self.runs.get(entry.task_id)
@@ -756,6 +783,8 @@ class Simulation:
                 + overflowed * (self.costs.commit_writeback_per_line
                                 + self.costs.overflow_penalty)
             )
+        cost += (self._overflow_excess_lines(proc, overflowed)
+                 * self.costs.overflow_excess_penalty)
         if self.scheme.task_policy is TaskPolicy.SINGLE_T:
             # The processor itself performs the merge with plain
             # loads/stores; MultiT schemes use background merge hardware.
@@ -1008,6 +1037,8 @@ class Simulation:
                 self.costs.final_merge_per_line
                 + self.costs.overflow_penalty
             )
+            cost += (self._overflow_excess_lines(proc, len(overflow_lines))
+                     * self.costs.overflow_excess_penalty)
             longest = max(longest, float(cost))
         return longest
 

@@ -1,0 +1,58 @@
+"""Design-space exploration: parameterized machines, sweeps, frontiers.
+
+The paper evaluates its taxonomy on two fixed machines; this subsystem
+maps where those conclusions hold as the hardware varies. It layers on
+the existing runner infrastructure:
+
+* :mod:`repro.explore.space` — named axes (L2 geometry, processor
+  count, overflow capacity, latency/cost multipliers) deriving
+  cache-key-safe :class:`~repro.core.config.MachineConfig` variants;
+* :mod:`repro.explore.sweep` — per-axis sensitivity curves through the
+  cached parallel :class:`~repro.runner.SweepRunner`;
+* :mod:`repro.explore.crossover` — bisection/saturation searches for
+  the paper's Section 7.3 questions (the Lazy.L2 crossover, the
+  MultiT&MV saturation point);
+* :mod:`repro.explore.pareto` — the complexity/performance Pareto
+  frontier over the Table 1/2 support scores;
+* :mod:`repro.explore.report` — the ``repro-tls explore`` renderer.
+"""
+
+from repro.explore.crossover import (
+    CrossoverResult,
+    find_crossover,
+    find_saturation,
+    lazy_l2_crossover,
+    mv_gain_saturation,
+)
+from repro.explore.pareto import ParetoPoint, frontier_for, pareto_frontier
+from repro.explore.report import build_explore
+from repro.explore.space import (
+    AXES,
+    Axis,
+    MachineVariant,
+    ParamSpace,
+    describe_machine,
+    machine_registry,
+)
+from repro.explore.sweep import SensitivityCurve, SensitivitySweep, SweepPoint
+
+__all__ = [
+    "AXES",
+    "Axis",
+    "CrossoverResult",
+    "MachineVariant",
+    "ParamSpace",
+    "ParetoPoint",
+    "SensitivityCurve",
+    "SensitivitySweep",
+    "SweepPoint",
+    "build_explore",
+    "describe_machine",
+    "find_crossover",
+    "find_saturation",
+    "frontier_for",
+    "lazy_l2_crossover",
+    "machine_registry",
+    "mv_gain_saturation",
+    "pareto_frontier",
+]

@@ -1,0 +1,207 @@
+"""Crossover and saturation search over design-space axes.
+
+Two generic searches over a sorted candidate list, plus the two wired
+questions from the paper's Section 7.3 discussion:
+
+* :func:`find_crossover` — bisection for the smallest axis value whose
+  (monotone non-increasing) metric drops to a threshold. Used for
+  "at what L2 size does Lazy.L2 close the FMM gap on P3m?" (the paper's
+  Figure 10 answer: a 4-MB L2 makes Lazy match FMM).
+* :func:`find_saturation` — linear scan for the first axis value whose
+  marginal improvement falls below a relative cutoff. Used for "at what
+  processor count does MultiT&MV's advantage over SingleT saturate?".
+
+Metric evaluations go through the shared result cache, so bisection
+probes that land on already-simulated grid points replay for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.config import NUMA_16, MachineConfig
+from repro.core.taxonomy import (
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_FMM,
+    MULTI_T_MV_LAZY,
+    SINGLE_T_EAGER,
+)
+from repro.errors import ConfigurationError
+from repro.explore.space import ParamSpace
+from repro.runner import SimJob, SweepRunner, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class CrossoverResult:
+    """Outcome of one search: the value found (if any) and the probes."""
+
+    #: True when a candidate satisfying the criterion exists.
+    found: bool
+    #: The smallest satisfying candidate (``None`` when not found).
+    value: Any
+    #: The candidate's display label.
+    label: str
+    #: Metric at ``value`` (at the last probed candidate when not found).
+    metric: float
+    #: Number of metric evaluations the search performed.
+    evaluations: int
+    #: Every ``(label, metric)`` probe, in probe order.
+    history: tuple[tuple[str, float], ...]
+
+
+def find_crossover(
+    candidates: list[Any],
+    metric: Callable[[Any], float],
+    *,
+    threshold: float,
+    label: Callable[[Any], str] = str,
+) -> CrossoverResult:
+    """Bisect for the smallest candidate with ``metric(c) <= threshold``.
+
+    ``candidates`` must be in increasing axis order and ``metric`` must
+    be monotone non-increasing along them (more hardware, smaller gap) —
+    the property every wired axis question has. The search probes
+    O(log n) candidates; each probe is memoized.
+    """
+    if not candidates:
+        raise ConfigurationError("find_crossover needs at least one candidate")
+    memo: dict[int, float] = {}
+    history: list[tuple[str, float]] = []
+
+    def probe(index: int) -> float:
+        if index not in memo:
+            memo[index] = metric(candidates[index])
+            history.append((label(candidates[index]), memo[index]))
+        return memo[index]
+
+    last = len(candidates) - 1
+    if probe(last) > threshold:
+        return CrossoverResult(
+            found=False, value=None, label=label(candidates[last]),
+            metric=memo[last], evaluations=len(memo),
+            history=tuple(history))
+    lo, hi = 0, last
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if probe(mid) <= threshold:
+            hi = mid
+        else:
+            lo = mid + 1
+    return CrossoverResult(
+        found=True, value=candidates[lo], label=label(candidates[lo]),
+        metric=probe(lo), evaluations=len(memo), history=tuple(history))
+
+
+def find_saturation(
+    candidates: list[Any],
+    metric: Callable[[Any], float],
+    *,
+    marginal: float = 0.05,
+    label: Callable[[Any], str] = str,
+) -> CrossoverResult:
+    """First candidate whose marginal metric improvement is < ``marginal``.
+
+    ``metric`` is an improving-downward quantity (e.g. normalized time
+    ratio); the scan walks the candidates in order and stops at the
+    first whose relative improvement over its predecessor falls below
+    the cutoff — the knee where spending more of the axis stops paying.
+    """
+    if len(candidates) < 2:
+        raise ConfigurationError(
+            "find_saturation needs at least two candidates")
+    history: list[tuple[str, float]] = []
+    previous = metric(candidates[0])
+    history.append((label(candidates[0]), previous))
+    for candidate in candidates[1:]:
+        current = metric(candidate)
+        history.append((label(candidate), current))
+        improvement = (previous - current) / abs(previous) if previous else 0.0
+        if improvement < marginal:
+            return CrossoverResult(
+                found=True, value=candidate, label=label(candidate),
+                metric=current, evaluations=len(history),
+                history=tuple(history))
+        previous = current
+    return CrossoverResult(
+        found=False, value=None, label=label(candidates[-1]),
+        metric=history[-1][1], evaluations=len(history),
+        history=tuple(history))
+
+
+# ----------------------------------------------------------------------
+# Wired questions
+# ----------------------------------------------------------------------
+def _tls_cycles(runner: SweepRunner, machine: MachineConfig, scheme,
+                app: str, seed: int, scale: float) -> float:
+    """Total cycles of one (machine, scheme, app) cell via the runner."""
+    job = SimJob(machine=machine, scheme=scheme,
+                 workload=WorkloadSpec(app, seed=seed, scale=scale))
+    return runner.run(job).total_cycles
+
+
+def lazy_l2_crossover(
+    *,
+    runner: SweepRunner,
+    base: MachineConfig = NUMA_16,
+    app: str = "P3m",
+    tolerance: float = 0.05,
+    scale: float = 1.0,
+    seed: int = 0,
+    sizes: tuple[int, ...] | None = None,
+) -> CrossoverResult:
+    """The L2 size where Lazy AMM comes within ``tolerance`` of FMM.
+
+    Reproduces the paper's Lazy.L2 argument (Figure 10 / Section 7.3):
+    FMM's advantage on ``app`` comes from relieving L2 buffer pressure,
+    so enlarging the L2 should let plain Lazy AMM close the gap. The
+    metric is the relative gap ``lazy(variant) / fmm(base) - 1``;
+    candidates are L2 sizes from the base size upward.
+    """
+    space = ParamSpace(base, axes=("l2_size",))
+    axis = space.axis("l2_size")
+    chosen = sizes if sizes is not None else tuple(
+        s for s in axis.values if s >= base.l2.size_bytes)
+    fmm = _tls_cycles(runner, base, MULTI_T_MV_FMM, app, seed, scale)
+
+    def gap(size: int) -> float:
+        lazy = _tls_cycles(runner, space.variant("l2_size", size).machine,
+                           MULTI_T_MV_LAZY, app, seed, scale)
+        return lazy / fmm - 1.0
+
+    return find_crossover(sorted(chosen), gap, threshold=tolerance,
+                          label=axis.label)
+
+
+def mv_gain_saturation(
+    *,
+    runner: SweepRunner,
+    base: MachineConfig = NUMA_16,
+    app: str = "P3m",
+    marginal: float = 0.05,
+    scale: float = 1.0,
+    seed: int = 0,
+    counts: tuple[int, ...] | None = None,
+) -> CrossoverResult:
+    """The processor count where MultiT&MV's advantage saturates.
+
+    The paper argues MultiT&MV's benefit (absorbing load imbalance with
+    multiple speculative tasks per processor) grows with the machine but
+    eventually saturates. The metric is the time ratio
+    ``MultiT&MV Eager / SingleT Eager`` on the ``n_procs`` variant —
+    lower is better for MV — and saturation is the first count whose
+    marginal improvement drops below ``marginal``.
+    """
+    space = ParamSpace(base, axes=("n_procs",))
+    axis = space.axis("n_procs")
+    chosen = sorted(counts if counts is not None else axis.values)
+
+    def ratio(n: int) -> float:
+        machine = space.variant("n_procs", n).machine
+        mv = _tls_cycles(runner, machine, MULTI_T_MV_EAGER, app, seed, scale)
+        single = _tls_cycles(runner, machine, SINGLE_T_EAGER, app, seed,
+                             scale)
+        return mv / single if single else 0.0
+
+    return find_saturation(chosen, ratio, marginal=marginal,
+                           label=axis.label)

@@ -1,0 +1,104 @@
+"""Complexity/performance Pareto frontier over the taxonomy.
+
+The paper's core argument is a tradeoff: each taxonomy point buys
+execution time with hardware-support complexity (Tables 1 and 2). This
+module makes the tradeoff explicit — every evaluated scheme becomes a
+point (complexity score, normalized execution time), dominated points
+are marked with *who* dominates them, and the survivors form the Pareto
+frontier a designer would actually choose from, per machine and app.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MachineConfig
+from repro.core.supports import complexity_score
+from repro.core.taxonomy import EVALUATED_SCHEMES, Scheme
+from repro.runner import SimJob, SweepRunner, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One scheme's position in the complexity/time plane."""
+
+    scheme_name: str
+    #: Section 3.3.5 hardware-support complexity score.
+    complexity: int
+    #: Execution time normalized to the sequential baseline.
+    norm_time: float
+    #: True when no other scheme is at least as good on both dimensions
+    #: (and strictly better on one).
+    on_frontier: bool
+    #: Names of the schemes dominating this one (empty on the frontier).
+    dominated_by: tuple[str, ...]
+
+
+def _dominates(a_complexity: int, a_time: float,
+               b_complexity: int, b_time: float) -> bool:
+    """True when point A is no worse than B everywhere, better somewhere."""
+    return (a_complexity <= b_complexity and a_time <= b_time
+            and (a_complexity < b_complexity or a_time < b_time))
+
+
+def pareto_frontier(
+    norm_times: dict[str, float],
+    complexities: dict[str, int] | None = None,
+) -> list[ParetoPoint]:
+    """Classify schemes into frontier and dominated points.
+
+    ``norm_times`` maps scheme name to normalized execution time;
+    ``complexities`` defaults to the Table 1/2
+    :func:`~repro.core.supports.complexity_score` of each evaluated
+    scheme. Points come back sorted by (complexity, time) — the order a
+    designer walks the frontier in.
+    """
+    if complexities is None:
+        complexities = {s.name: complexity_score(s)
+                        for s in EVALUATED_SCHEMES}
+    points = []
+    for name, time in norm_times.items():
+        complexity = complexities[name]
+        dominators = tuple(sorted(
+            other for other, other_time in norm_times.items()
+            if other != name and _dominates(
+                complexities[other], other_time, complexity, time)
+        ))
+        points.append(ParetoPoint(
+            scheme_name=name, complexity=complexity, norm_time=time,
+            on_frontier=not dominators, dominated_by=dominators))
+    points.sort(key=lambda p: (p.complexity, p.norm_time, p.scheme_name))
+    return points
+
+
+def frontier_for(
+    machine: MachineConfig,
+    apps: tuple[str, ...] | list[str],
+    *,
+    runner: SweepRunner,
+    schemes: tuple[Scheme, ...] = EVALUATED_SCHEMES,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> dict[str, list[ParetoPoint]]:
+    """Per-app Pareto classification of ``schemes`` on ``machine``.
+
+    Runs (or replays) every scheme plus the sequential baseline for each
+    app in one runner batch and classifies the normalized times.
+    """
+    specs = [WorkloadSpec(app, seed=seed, scale=scale) for app in apps]
+    jobs = SimJob.grid([machine], [None, *schemes], specs)
+    results = runner.run_many(jobs)
+    by_cell = {(job.scheme.name if job.scheme else None,
+                job.workload_name): result
+               for job, result in zip(jobs, results)}
+
+    out: dict[str, list[ParetoPoint]] = {}
+    for app in apps:
+        seq = by_cell[(None, app)].total_cycles
+        norm_times = {
+            scheme.name: (by_cell[(scheme.name, app)].total_cycles / seq
+                          if seq else 0.0)
+            for scheme in schemes
+        }
+        out[app] = pareto_frontier(norm_times)
+    return out

@@ -1,0 +1,300 @@
+"""Design-space exploration report: ``repro-tls explore``.
+
+Drives the :class:`~repro.explore.sweep.SensitivitySweep` over the
+requested axes, answers the two wired Section 7.3 crossover questions,
+classifies the taxonomy's complexity/performance Pareto frontier, and
+renders everything under ``docs/report/``:
+
+* ``explore.md`` / ``explore.html`` — response-curve tables, crossover
+  findings, and the per-app frontier classification.
+* ``sensitivity_<axis>_<app>.svg`` — one line chart per (axis, app),
+  one colored line per scheme, normalized to each variant's sequential
+  baseline.
+
+Like the main report the output is deterministic — no timestamps, fixed
+float formatting — so a warm-cache rebuild is byte-identical.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from pathlib import Path
+
+from repro.analysis.svgplot import LineSeries, render_line_chart_svg
+from repro.core.config import MACHINES, MachineConfig
+from repro.core.engine import ENGINE_VERSION
+from repro.core.taxonomy import (
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_FMM,
+    MULTI_T_MV_LAZY,
+    SINGLE_T_EAGER,
+)
+from repro.explore.crossover import (
+    CrossoverResult,
+    lazy_l2_crossover,
+    mv_gain_saturation,
+)
+from repro.explore.pareto import frontier_for
+from repro.explore.space import AXES, ParamSpace
+from repro.explore.sweep import SensitivityCurve, SensitivitySweep
+from repro.obs.report import _CSS, DEFAULT_REPORT_DIR, html_table, md_table
+from repro.runner import ResultCache, SweepRunner
+
+#: Schemes the exploration sweeps: the taxonomy's complexity ladder from
+#: no-support SingleT Eager up to full FMM.
+EXPLORE_SCHEMES = (SINGLE_T_EAGER, MULTI_T_MV_EAGER, MULTI_T_MV_LAZY,
+                   MULTI_T_MV_FMM)
+
+#: Smoke configuration: the two apps where the paper's axis effects are
+#: strongest (P3m buffer pressure, Euler squashes) and the three axes the
+#: acceptance gate requires curves for.
+SMOKE_APPS = ("P3m", "Euler")
+SMOKE_AXES = ("l2_size", "n_procs", "overflow_capacity")
+
+#: Full-run defaults: every axis, the smoke apps plus a priv-heavy one.
+FULL_APPS = ("P3m", "Euler", "Apsi")
+
+
+def _curve_table(curves: list[SensitivityCurve], app: str,
+                 ) -> tuple[list[str], list[list[str]]]:
+    """Header and rows of one axis/app response table."""
+    app_curves = [c for c in curves if c.app == app]
+    header = ["Scheme"] + list(app_curves[0].labels)
+    rows = [
+        [curve.scheme_name] + [f"{t:.3f}" for t in curve.norm_times]
+        for curve in app_curves
+    ]
+    # Squash and overflow-pressure context rows, from the scheme most
+    # exposed to buffer pressure (MultiT&MV Eager when swept).
+    context = next(
+        (c for c in app_curves
+         if c.scheme_name == MULTI_T_MV_EAGER.name), app_curves[0])
+    rows.append([f"squash events ({context.scheme_name})"]
+                + [str(p.violation_events) for p in context.points])
+    rows.append([f"overflow spills ({context.scheme_name})"]
+                + [str(p.overflow_spills) for p in context.points])
+    return header, rows
+
+
+def _curve_svg(curves: list[SensitivityCurve], axis: str, app: str) -> str:
+    """The line chart of one (axis, app): one series per scheme."""
+    app_curves = [c for c in curves if c.app == app]
+    series = [LineSeries(label=c.scheme_name, values=c.norm_times)
+              for c in app_curves]
+    return render_line_chart_svg(
+        series, list(app_curves[0].labels),
+        f"{app} — sensitivity to {axis}",
+    )
+
+
+def _crossover_rows(result: CrossoverResult) -> list[list[str]]:
+    """Probe-history rows of one crossover/saturation search."""
+    return [[label, f"{metric:.4f}"] for label, metric in result.history]
+
+
+def _crossover_summary(name: str, result: CrossoverResult,
+                       criterion: str) -> str:
+    """One finding line: what was searched, what was found."""
+    if result.found:
+        return (f"**{name}**: {criterion} first satisfied at "
+                f"**{result.label}** (metric {result.metric:.4f}, "
+                f"{result.evaluations} probes).")
+    return (f"**{name}**: {criterion} not reached within the candidate "
+            f"grid (best probe {result.label}, metric "
+            f"{result.metric:.4f}, {result.evaluations} probes).")
+
+
+def _pareto_rows(points) -> list[list[str]]:
+    """Table rows of one app's Pareto classification."""
+    return [
+        [p.scheme_name, str(p.complexity), f"{p.norm_time:.3f}",
+         "frontier" if p.on_frontier else
+         "dominated by " + ", ".join(p.dominated_by)]
+        for p in points
+    ]
+
+
+_PARETO_HEADER = ["Scheme", "Complexity", "Norm. time", "Status"]
+
+
+def build_explore(
+    out_dir: str | Path = DEFAULT_REPORT_DIR,
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    jobs: int | None = None,
+    cache: bool = True,
+    smoke: bool = False,
+    base: MachineConfig | None = None,
+    apps: tuple[str, ...] | None = None,
+    axes: tuple[str, ...] | None = None,
+) -> dict[str, Path]:
+    """Run the exploration and write the report; returns output paths.
+
+    ``smoke`` selects the CI configuration (two apps, the three
+    acceptance axes); explicit ``apps``/``axes`` override either preset.
+    All simulations ride the shared result cache, so a warm rerun is
+    replay + rendering and reproduces the files byte for byte.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    base = base if base is not None else MACHINES["numa16"]
+    apps = apps if apps is not None else (SMOKE_APPS if smoke else FULL_APPS)
+    axes = axes if axes is not None else (
+        SMOKE_AXES if smoke else tuple(AXES))
+
+    runner = SweepRunner(jobs=jobs, cache=ResultCache() if cache else None)
+    space = ParamSpace(base, axes=axes)
+    sweep = SensitivitySweep(space, EXPLORE_SCHEMES, apps,
+                             scale=scale, seed=seed, runner=runner)
+    curves_by_axis = sweep.run()
+
+    lazy_l2 = lazy_l2_crossover(runner=runner, base=base, scale=scale,
+                                seed=seed)
+    mv_sat = mv_gain_saturation(runner=runner, base=base, scale=scale,
+                                seed=seed)
+    frontier = frontier_for(base, apps, runner=runner, scale=scale,
+                            seed=seed)
+
+    svgs: dict[str, str] = {}
+    for axis, curves in curves_by_axis.items():
+        for app in apps:
+            svgs[f"sensitivity_{axis}_{app}.svg"] = _curve_svg(
+                curves, axis, app)
+    for name, svg in svgs.items():
+        (out / name).write_text(svg + "\n")
+
+    params_rows = [
+        ["Engine version", ENGINE_VERSION],
+        ["Base machine", base.name],
+        ["Workload scale", f"{scale:g}"],
+        ["Workload seed", str(seed)],
+        ["Axes", ", ".join(axes)],
+        ["Schemes", ", ".join(s.name for s in EXPLORE_SCHEMES)],
+        ["Applications", ", ".join(apps)],
+    ]
+
+    crossover_lines = [
+        _crossover_summary(
+            "Lazy.L2 crossover (P3m)", lazy_l2,
+            "Lazy AMM within 5% of FMM (gap = lazy/fmm − 1 ≤ 0.05)"),
+        _crossover_summary(
+            "MultiT&MV saturation (P3m)", mv_sat,
+            "marginal improvement of MV/SingleT time ratio < 5% "
+            "per processor-count step"),
+    ]
+
+    sections_md = [
+        "# Design-space exploration — TLS buffering (HPCA 2003)",
+        "",
+        "Generated by `repro-tls explore`. Sensitivity of the taxonomy "
+        "to the machine parameters the paper holds fixed, plus the "
+        "complexity/performance Pareto frontier. Every number comes "
+        "from seeded, deterministic simulations; a warm-cache rebuild "
+        "is byte-identical.",
+        "",
+        md_table(["Parameter", "Value"], params_rows),
+        "",
+        "## Crossover findings (Section 7.3 questions)",
+        "",
+        "\n".join(f"- {line}" for line in crossover_lines),
+        "",
+        "Probe history (Lazy.L2 gap by L2 size):",
+        "",
+        md_table(["L2 size", "gap (lazy/fmm − 1)"],
+                 _crossover_rows(lazy_l2)),
+        "",
+        "Probe history (MV/SingleT time ratio by processor count):",
+        "",
+        md_table(["Processors", "MV / SingleT time"],
+                 _crossover_rows(mv_sat)),
+        "",
+    ]
+    html_body = [
+        "<h1>Design-space exploration — TLS buffering (HPCA 2003)</h1>",
+        '<p class="small">Generated by <code>repro-tls explore</code>. '
+        "Sensitivity of the taxonomy to the machine parameters the paper "
+        "holds fixed, plus the complexity/performance Pareto frontier. "
+        "Deterministic: a warm-cache rebuild is byte-identical.</p>",
+        html_table(["Parameter", "Value"], params_rows),
+        "<h2>Crossover findings (Section 7.3 questions)</h2>",
+        "<ul>" + "".join(
+            f"<li>{_html.escape(line).replace('**', '')}</li>"
+            for line in crossover_lines) + "</ul>",
+        "<p>Probe history (Lazy.L2 gap by L2 size):</p>",
+        html_table(["L2 size", "gap (lazy/fmm − 1)"],
+                   _crossover_rows(lazy_l2)),
+        "<p>Probe history (MV/SingleT time ratio by processor count):</p>",
+        html_table(["Processors", "MV / SingleT time"],
+                   _crossover_rows(mv_sat)),
+    ]
+
+    for axis in axes:
+        curves = curves_by_axis[axis]
+        sections_md.extend([
+            f"## Sensitivity — {axis}",
+            "",
+            AXES[axis].description + ".",
+            "",
+        ])
+        html_body.append(f"<h2>Sensitivity — {_html.escape(axis)}</h2>")
+        html_body.append(
+            f'<p class="small">{_html.escape(AXES[axis].description)}.</p>')
+        for app in apps:
+            name = f"sensitivity_{axis}_{app}.svg"
+            header, rows = _curve_table(curves, app)
+            sections_md.extend([
+                f"### {app}",
+                "",
+                f"![{axis} sensitivity, {app}]({name})",
+                "",
+                md_table(header, rows),
+                "",
+            ])
+            html_body.append(f"<h3>{_html.escape(app)}</h3>")
+            html_body.append(f"<figure>{svgs[name]}</figure>")
+            html_body.append(html_table(header, rows))
+
+    sections_md.extend([
+        f"## Pareto frontier — complexity vs time on {base.name}",
+        "",
+        "Complexity is the Section 3.3.5 hardware-support score "
+        "(Tables 1 and 2); time is normalized to the sequential "
+        "baseline. A scheme is on the frontier when no other evaluated "
+        "scheme is at least as simple *and* at least as fast.",
+        "",
+    ])
+    html_body.append(
+        f"<h2>Pareto frontier — complexity vs time on "
+        f"{_html.escape(base.name)}</h2>")
+    html_body.append(
+        '<p class="small">Complexity is the Section 3.3.5 '
+        "hardware-support score (Tables 1 and 2); time is normalized to "
+        "the sequential baseline.</p>")
+    for app in apps:
+        rows = _pareto_rows(frontier[app])
+        sections_md.extend([
+            f"### {app}",
+            "",
+            md_table(_PARETO_HEADER, rows),
+            "",
+        ])
+        html_body.append(f"<h3>{_html.escape(app)}</h3>")
+        html_body.append(html_table(_PARETO_HEADER, rows))
+
+    (out / "explore.md").write_text("\n".join(sections_md))
+    html_doc = (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        "<title>TLS buffering design-space exploration</title>\n"
+        f"<style>{_CSS}</style></head>\n<body>\n"
+        + "\n".join(html_body)
+        + "\n</body></html>\n"
+    )
+    (out / "explore.html").write_text(html_doc)
+
+    return {
+        "html": out / "explore.html",
+        "markdown": out / "explore.md",
+        **{name: out / name for name in sorted(svgs)},
+    }

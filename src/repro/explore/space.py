@@ -1,0 +1,307 @@
+"""Parameterized machine derivation: the axes of the design space.
+
+The paper evaluates two fixed machines (plus the single enlarged-L2
+point of Figure 10). This module turns :class:`~repro.core.config.\
+MachineConfig` into a *space*: a set of named axes — L2 size and
+associativity, processor count, overflow-area capacity, network hop
+latency, squash and commit cost multipliers — each of which derives
+config variants from a base machine.
+
+Derived configs are cache-key-safe by construction: a variant's name is
+the deterministic ``"{base}~{axis}={label}"`` and its full config enters
+the :meth:`~repro.runner.jobs.SimJob.identity` hash, so two identical
+derivations share one cache entry and any parameter change misses.
+Deriving an axis's *base* value returns the base config unchanged (same
+name, same object), so exploration runs share cache entries with the
+figure and report pipelines wherever the grids overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+from repro.core.config import (
+    MACHINES,
+    NUMA_16,
+    CacheGeometry,
+    CostModel,
+    MachineConfig,
+    scaled_machine,
+)
+from repro.errors import ConfigurationError
+
+
+def _fmt_bytes(n: int) -> str:
+    """``262144`` -> ``"256K"``, ``4194304`` -> ``"4M"``."""
+    if n % (1024 * 1024) == 0:
+        return f"{n // (1024 * 1024)}M"
+    if n % 1024 == 0:
+        return f"{n // 1024}K"
+    return str(n)
+
+
+def _scale_int(value: int, factor: float) -> int:
+    """An integer cost knob scaled by ``factor`` (floor at 1 cycle)."""
+    return max(1, round(value * factor))
+
+
+def _scale_hop_table(table: dict[int, int], factor: float) -> dict[int, int]:
+    """Scale the hop-distance-dependent part of a latency table.
+
+    The local (0-hop) latency is the node's own memory pipeline and does
+    not change with the network; only the per-hop network contribution is
+    multiplied.
+    """
+    local = table[0]
+    return {hop: local + max(0, round((lat - local) * factor))
+            for hop, lat in table.items()}
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One named direction of the design space.
+
+    ``derive(base, value)`` builds the raw variant config (naming is
+    handled by :class:`ParamSpace`); ``base_value(base)`` reports the
+    value at which the axis leaves ``base`` untouched; ``label(value)``
+    is the short, deterministic display/name token of a value.
+    """
+
+    name: str
+    description: str
+    values: tuple[Any, ...]
+    derive: Callable[[MachineConfig, Any], MachineConfig]
+    base_value: Callable[[MachineConfig], Any]
+    label: Callable[[Any], str]
+
+    def sort_key(self, value: Any) -> float:
+        """Ordering key for response curves; ``None`` sorts last."""
+        return float("inf") if value is None else float(value)
+
+
+def _derive_l2_size(base: MachineConfig, size: int) -> MachineConfig:
+    return base.with_l2(CacheGeometry(size_bytes=size, assoc=base.l2.assoc))
+
+
+def _derive_l2_assoc(base: MachineConfig, assoc: int) -> MachineConfig:
+    return base.with_l2(
+        CacheGeometry(size_bytes=base.l2.size_bytes, assoc=assoc))
+
+
+def _derive_n_procs(base: MachineConfig, n: int) -> MachineConfig:
+    return scaled_machine(base, n)
+
+
+def _derive_overflow(base: MachineConfig, cap: int | None) -> MachineConfig:
+    return base.with_costs(replace(base.costs, overflow_capacity_lines=cap))
+
+
+def _derive_hop_latency(base: MachineConfig, factor: float) -> MachineConfig:
+    return replace(
+        base,
+        lat_memory_by_hops=_scale_hop_table(base.lat_memory_by_hops, factor),
+        lat_remote_cache_by_hops=_scale_hop_table(
+            base.lat_remote_cache_by_hops, factor),
+    )
+
+
+def _derive_squash_cost(base: MachineConfig, factor: float) -> MachineConfig:
+    costs = base.costs
+    return base.with_costs(replace(
+        costs,
+        squash_fixed=_scale_int(costs.squash_fixed, factor),
+        amm_invalidate_per_line=costs.amm_invalidate_per_line * factor,
+    ))
+
+
+def _derive_commit_cost(base: MachineConfig, factor: float) -> MachineConfig:
+    costs = base.costs
+    return base.with_costs(replace(
+        costs,
+        commit_writeback_per_line=_scale_int(
+            costs.commit_writeback_per_line, factor),
+        token_pass=_scale_int(costs.token_pass, factor),
+        final_merge_per_line=_scale_int(costs.final_merge_per_line, factor),
+        orb_request_per_line=_scale_int(costs.orb_request_per_line, factor),
+    ))
+
+
+def _mult_label(factor: float) -> str:
+    return f"{factor:g}x"
+
+
+#: The named axes of the design space, in presentation order.
+AXES: dict[str, Axis] = {
+    axis.name: axis
+    for axis in (
+        Axis(
+            name="l2_size",
+            description="Per-processor L2 capacity (associativity kept)",
+            values=(256 * 1024, 512 * 1024, 1024 * 1024,
+                    2 * 1024 * 1024, 4 * 1024 * 1024),
+            derive=_derive_l2_size,
+            base_value=lambda base: base.l2.size_bytes,
+            label=_fmt_bytes,
+        ),
+        Axis(
+            name="l2_assoc",
+            description="Per-processor L2 associativity (capacity kept)",
+            values=(1, 2, 4, 8, 16),
+            derive=_derive_l2_assoc,
+            base_value=lambda base: base.l2.assoc,
+            label=lambda v: f"{v}way",
+        ),
+        Axis(
+            name="n_procs",
+            description="Processor count (mesh regrown, latencies "
+                        "extrapolated to the new diameter)",
+            values=(2, 4, 8, 16, 32),
+            derive=_derive_n_procs,
+            base_value=lambda base: base.n_procs,
+            label=lambda v: f"{v}p",
+        ),
+        Axis(
+            name="overflow_capacity",
+            description="Per-processor overflow-area reservation in lines "
+                        "(None = the paper's unbounded area)",
+            values=(2, 4, 8, 16, 64, None),
+            derive=_derive_overflow,
+            base_value=lambda base: base.costs.overflow_capacity_lines,
+            label=lambda v: "unbounded" if v is None else str(v),
+        ),
+        Axis(
+            name="hop_latency",
+            description="Multiplier on the network (non-local) part of "
+                        "every hop latency",
+            values=(0.5, 1.0, 2.0, 4.0),
+            derive=_derive_hop_latency,
+            base_value=lambda base: 1.0,
+            label=_mult_label,
+        ),
+        Axis(
+            name="squash_cost",
+            description="Multiplier on squash recovery costs "
+                        "(fixed trap + per-line invalidation)",
+            values=(0.5, 1.0, 2.0, 4.0),
+            derive=_derive_squash_cost,
+            base_value=lambda base: 1.0,
+            label=_mult_label,
+        ),
+        Axis(
+            name="commit_cost",
+            description="Multiplier on commit-side costs (write-backs, "
+                        "token pass, final merge, ORB requests)",
+            values=(0.5, 1.0, 2.0, 4.0),
+            derive=_derive_commit_cost,
+            base_value=lambda base: 1.0,
+            label=_mult_label,
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class MachineVariant:
+    """One derived point on one axis: the value, its label, the config."""
+
+    axis: str
+    value: Any
+    label: str
+    machine: MachineConfig
+    #: True when this variant *is* the base machine (axis at base value).
+    is_base: bool
+
+
+class ParamSpace:
+    """A base machine plus the axes along which it is varied.
+
+    >>> space = ParamSpace(NUMA_16, axes=("l2_size",))
+    >>> [v.label for v in space.variants("l2_size")]
+    ['256K', '512K', '1M', '2M', '4M']
+
+    Variant names are deterministic (``"CC-NUMA-16~l2_size=1M"``), so
+    identical derivations hash to identical
+    :meth:`~repro.runner.jobs.SimJob.cache_key` values.
+    """
+
+    def __init__(self, base: MachineConfig = NUMA_16,
+                 axes: tuple[str, ...] | list[str] | None = None) -> None:
+        self.base = base
+        names = list(axes) if axes is not None else list(AXES)
+        unknown = [n for n in names if n not in AXES]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown axis/axes: {', '.join(unknown)}; "
+                f"known: {', '.join(AXES)}")
+        self.axes: dict[str, Axis] = {n: AXES[n] for n in names}
+
+    def axis(self, name: str) -> Axis:
+        """The axis registered under ``name`` in this space."""
+        if name not in self.axes:
+            raise ConfigurationError(
+                f"axis {name!r} is not part of this space; "
+                f"available: {', '.join(self.axes)}")
+        return self.axes[name]
+
+    def variant(self, axis_name: str, value: Any) -> MachineVariant:
+        """Derive one point: ``base`` varied along ``axis_name``.
+
+        Deriving the axis's base value returns the base config itself
+        (same name), so those runs share cache entries with every other
+        pipeline that simulates the base machine.
+        """
+        axis = self.axis(axis_name)
+        if value == axis.base_value(self.base):
+            return MachineVariant(axis=axis.name, value=value,
+                                  label=axis.label(value),
+                                  machine=self.base, is_base=True)
+        label = axis.label(value)
+        machine = replace(axis.derive(self.base, value),
+                          name=f"{self.base.name}~{axis.name}={label}")
+        return MachineVariant(axis=axis.name, value=value, label=label,
+                              machine=machine, is_base=False)
+
+    def variants(self, axis_name: str,
+                 values: tuple[Any, ...] | None = None,
+                 ) -> list[MachineVariant]:
+        """Every point of one axis, in response-curve order."""
+        axis = self.axis(axis_name)
+        chosen = axis.values if values is None else tuple(values)
+        ordered = sorted(chosen, key=axis.sort_key)
+        return [self.variant(axis_name, value) for value in ordered]
+
+    def all_variants(self) -> list[MachineVariant]:
+        """Every point of every axis in this space (axes in order)."""
+        return [variant
+                for name in self.axes
+                for variant in self.variants(name)]
+
+
+def machine_registry(base: MachineConfig = NUMA_16) -> dict[str, MachineConfig]:
+    """Preset machines plus every derived explore variant of ``base``.
+
+    Used by ``repro-tls list`` to print the full registry; base-valued
+    variants are skipped (they are the presets themselves).
+    """
+    registry: dict[str, MachineConfig] = dict(MACHINES)
+    for variant in ParamSpace(base).all_variants():
+        if not variant.is_base:
+            registry[variant.machine.name] = variant.machine
+    return registry
+
+
+def describe_machine(machine: MachineConfig) -> str:
+    """One-line geometry and latency summary for the registry listing."""
+    if machine.mesh_side is not None:
+        net = f"mesh {machine.mesh_side}x{machine.mesh_side}"
+    else:
+        net = "crossbar"
+    mem = machine.lat_memory_by_hops
+    mem_span = (f"{mem[0]}" if len(set(mem.values())) == 1
+                else f"{mem[0]}..{mem[max(mem)]}")
+    cap = machine.costs.overflow_capacity_lines
+    overflow = "" if cap is None else f"  overflow {cap} lines"
+    return (f"{machine.n_procs:>2} procs  {net:<9}  "
+            f"L2 {_fmt_bytes(machine.l2.size_bytes)}/"
+            f"{machine.l2.assoc}-way  mem {mem_span}{overflow}")

@@ -1,0 +1,166 @@
+"""Sensitivity sweeps: per-axis response curves through the runner.
+
+:class:`SensitivitySweep` fans a (machine-variant x scheme x app) grid —
+every variant of every requested axis, plus a sequential baseline per
+variant — through one :class:`~repro.runner.SweepRunner` batch, so cache
+hits replay and misses run in parallel. The output is one
+:class:`SensitivityCurve` per (axis, scheme, app): normalized execution
+time, squash counts, and overflow pressure at every axis value, in
+response-curve order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.taxonomy import Scheme
+from repro.explore.space import MachineVariant, ParamSpace
+from repro.runner import ResultCache, SimJob, SweepRunner, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a response curve: one variant under one scheme/app."""
+
+    axis: str
+    label: str
+    machine_name: str
+    scheme_name: str
+    app: str
+    #: TLS and sequential wall-clock cycles on this variant.
+    tls_cycles: float
+    seq_cycles: float
+    violation_events: int
+    squashed_executions: int
+    overflow_spills: int
+    peak_overflow_lines: int
+
+    @property
+    def norm_time(self) -> float:
+        """Execution time normalized to the variant's sequential run."""
+        return self.tls_cycles / self.seq_cycles if self.seq_cycles else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over the variant's sequential run."""
+        return self.seq_cycles / self.tls_cycles if self.tls_cycles else 0.0
+
+
+@dataclass(frozen=True)
+class SensitivityCurve:
+    """One axis response: points in axis-value order for one scheme/app."""
+
+    axis: str
+    scheme_name: str
+    app: str
+    points: tuple[SweepPoint, ...]
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """The x-axis tick labels of this curve."""
+        return tuple(p.label for p in self.points)
+
+    @property
+    def norm_times(self) -> tuple[float, ...]:
+        """The normalized-time y values of this curve."""
+        return tuple(p.norm_time for p in self.points)
+
+
+class SensitivitySweep:
+    """Drive per-axis sensitivity grids through the sweep runner."""
+
+    def __init__(
+        self,
+        space: ParamSpace,
+        schemes: tuple[Scheme, ...] | list[Scheme],
+        apps: tuple[str, ...] | list[str],
+        *,
+        scale: float = 1.0,
+        seed: int = 0,
+        runner: SweepRunner | None = None,
+    ) -> None:
+        self.space = space
+        self.schemes = tuple(schemes)
+        self.apps = tuple(apps)
+        self.scale = scale
+        self.seed = seed
+        self.runner = runner if runner is not None else SweepRunner(
+            cache=ResultCache())
+
+    # ------------------------------------------------------------------
+    def _specs(self) -> list[WorkloadSpec]:
+        return [WorkloadSpec(app, seed=self.seed, scale=self.scale)
+                for app in self.apps]
+
+    def run(
+        self, axes: tuple[str, ...] | list[str] | None = None,
+        values: dict[str, tuple] | None = None,
+    ) -> dict[str, list[SensitivityCurve]]:
+        """Sweep the requested axes (default: all in the space).
+
+        ``values`` optionally restricts an axis to a subset of its grid
+        (``{"l2_size": (262144, 524288)}``). Every simulation across
+        every axis is submitted as one batch, so the runner dedupes
+        shared cells (each axis's base-value variant is the base
+        machine) and parallelizes the rest.
+        """
+        names = list(axes) if axes is not None else list(self.space.axes)
+        chosen = values or {}
+        per_axis = {name: self.space.variants(name, chosen.get(name))
+                    for name in names}
+        specs = self._specs()
+        schemes: list[Scheme | None] = [None, *self.schemes]
+
+        all_jobs: list[SimJob] = []
+        for name, variants in per_axis.items():
+            all_jobs.extend(
+                SimJob.grid([v.machine for v in variants], schemes, specs))
+        # Jobs hold dict-valued configs (unhashable), so results are
+        # keyed by their content address.
+        results = {job.cache_key(): result
+                   for job, result in zip(all_jobs,
+                                          self.runner.run_many(all_jobs))}
+
+        return {
+            name: self._curves(name, per_axis[name], results)
+            for name in names
+        }
+
+    # ------------------------------------------------------------------
+    def _curves(
+        self,
+        axis: str,
+        variants: list[MachineVariant],
+        results: dict[str, object],
+    ) -> list[SensitivityCurve]:
+        """Assemble the per-(scheme, app) curves of one axis."""
+        def cell(machine, scheme, app):
+            job = SimJob(
+                machine=machine, scheme=scheme,
+                workload=WorkloadSpec(app, seed=self.seed, scale=self.scale))
+            return results[job.cache_key()]
+
+        curves = []
+        for scheme in self.schemes:
+            for app in self.apps:
+                points = []
+                for variant in variants:
+                    tls = cell(variant.machine, scheme, app)
+                    seq = cell(variant.machine, None, app)
+                    points.append(SweepPoint(
+                        axis=axis,
+                        label=variant.label,
+                        machine_name=variant.machine.name,
+                        scheme_name=scheme.name,
+                        app=app,
+                        tls_cycles=tls.total_cycles,
+                        seq_cycles=seq.total_cycles,
+                        violation_events=tls.violation_events,
+                        squashed_executions=tls.squashed_executions,
+                        overflow_spills=tls.traffic.overflow_spills,
+                        peak_overflow_lines=tls.peak_overflow_lines,
+                    ))
+                curves.append(SensitivityCurve(
+                    axis=axis, scheme_name=scheme.name, app=app,
+                    points=tuple(points)))
+        return curves

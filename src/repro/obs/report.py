@@ -243,7 +243,8 @@ _METRICS_HEADER = (["Scheme"] + [label for _k, label in _METRIC_COLUMNS]
 # ----------------------------------------------------------------------
 # Rendering primitives (Markdown + HTML share the table data)
 # ----------------------------------------------------------------------
-def _md_table(header: list[str], rows: list[list[str]]) -> str:
+def md_table(header: list[str], rows: list[list[str]]) -> str:
+    """Render a GitHub-flavored Markdown table (shared with explore)."""
     lines = ["| " + " | ".join(header) + " |",
              "|" + "|".join("---" for _ in header) + "|"]
     lines.extend("| " + " | ".join(str(c) for c in row) + " |"
@@ -251,7 +252,8 @@ def _md_table(header: list[str], rows: list[list[str]]) -> str:
     return "\n".join(lines)
 
 
-def _html_table(header: list[str], rows: list[list[str]]) -> str:
+def html_table(header: list[str], rows: list[list[str]]) -> str:
+    """Render an escaped HTML table (shared with explore)."""
     head = "".join(f"<th>{html.escape(str(c))}</th>" for c in header)
     body = "".join(
         "<tr>" + "".join(f"<td>{html.escape(str(c))}</td>" for c in row)
@@ -398,7 +400,7 @@ def build_report(
         "machine × scheme grid; rebuilding from a warm cache reproduces "
         "this report byte for byte.",
         "",
-        _md_table(["Parameter", "Value"], params_rows),
+        md_table(["Parameter", "Value"], params_rows),
         "",
         "## Headline claims",
         "",
@@ -418,16 +420,16 @@ def build_report(
         "",
         "## Section 5.4 summary — paper vs measured",
         "",
-        _md_table(["Claim", "Paper", "Measured"], _summary_rows(summary)),
+        md_table(["Claim", "Paper", "Measured"], _summary_rows(summary)),
         "",
         "## Hardware supports (Tables 1 and 2)",
         "",
-        _md_table(["Support", "Description"],
+        md_table(["Support", "Description"],
                   [[s.name, SUPPORT_DESCRIPTIONS[s]] for s in Support]),
         "",
-        _md_table(_SUPPORT_HEADER, _support_matrix_rows()),
+        md_table(_SUPPORT_HEADER, _support_matrix_rows()),
         "",
-        _md_table(["Upgrade", "Benefit", "Added supports"],
+        md_table(["Upgrade", "Benefit", "Added supports"],
                   _upgrade_rows()),
         "",
     ]
@@ -436,10 +438,19 @@ def build_report(
             f"## Metrics — {machine_name} "
             f"(aggregated over {len(APPLICATION_ORDER)} applications)",
             "",
-            _md_table(_METRICS_HEADER, _metrics_rows(per_scheme)),
+            md_table(_METRICS_HEADER, _metrics_rows(per_scheme)),
             "",
         ])
     sections_md.extend([
+        "## Design-space exploration",
+        "",
+        "The companion exploration report — sensitivity of the taxonomy "
+        "to L2 geometry, processor count, overflow capacity, and "
+        "latency/cost multipliers, the Section 7.3 crossover points, and "
+        "the complexity/performance Pareto frontier — is built by "
+        "`repro-tls explore` into [explore.md](explore.md) / "
+        "[explore.html](explore.html) alongside this report.",
+        "",
         "## Trace sample",
         "",
         f"One traced run ({trace_stats['job']}) exported through "
@@ -496,7 +507,7 @@ def _render_html(params_rows, badges, svgs, summary, grid_metrics,
         "Every number comes from seeded, deterministic simulations of the "
         "paper's 16-cell machine × scheme grid; rebuilding from a warm "
         "cache reproduces this page byte for byte.</p>",
-        _html_table(["Parameter", "Value"], params_rows),
+        html_table(["Parameter", "Value"], params_rows),
         "<h2>Headline claims</h2>",
         _claims_html(badges),
         "<h2>Figure 9 — AMM schemes on CC-NUMA-16</h2>",
@@ -507,20 +518,29 @@ def _render_html(params_rows, badges, svgs, summary, grid_metrics,
         "<h2>Figure 11 — AMM schemes on CMP-8</h2>",
         f"<figure>{svgs['figure11.svg']}</figure>",
         "<h2>Section 5.4 summary — paper vs measured</h2>",
-        _html_table(["Claim", "Paper", "Measured"], _summary_rows(summary)),
+        html_table(["Claim", "Paper", "Measured"], _summary_rows(summary)),
         "<h2>Hardware supports (Tables 1 and 2)</h2>",
-        _html_table(["Support", "Description"],
+        html_table(["Support", "Description"],
                     [[s.name, SUPPORT_DESCRIPTIONS[s]] for s in Support]),
-        _html_table(_SUPPORT_HEADER, _support_matrix_rows()),
-        _html_table(["Upgrade", "Benefit", "Added supports"],
+        html_table(_SUPPORT_HEADER, _support_matrix_rows()),
+        html_table(["Upgrade", "Benefit", "Added supports"],
                     _upgrade_rows()),
     ]
     for machine_name, per_scheme in grid_metrics.items():
         body.append(f"<h2>Metrics — {html.escape(machine_name)} "
                     f"(aggregated over {len(APPLICATION_ORDER)} "
                     "applications)</h2>")
-        body.append(_html_table(_METRICS_HEADER,
+        body.append(html_table(_METRICS_HEADER,
                                 _metrics_rows(per_scheme)))
+    body.append("<h2>Design-space exploration</h2>")
+    body.append(
+        "<p>The companion exploration report — sensitivity of the "
+        "taxonomy to L2 geometry, processor count, overflow capacity, "
+        "and latency/cost multipliers, the Section 7.3 crossover "
+        "points, and the complexity/performance Pareto frontier — is "
+        "built by <code>repro-tls explore</code> into "
+        '<a href="explore.html">explore.html</a> / '
+        '<a href="explore.md">explore.md</a> alongside this report.</p>')
     body.append("<h2>Trace sample</h2>")
     body.append(
         f'<p>One traced run ({html.escape(trace_stats["job"])}) exported '

@@ -18,7 +18,7 @@ import hashlib
 import json
 from dataclasses import asdict, dataclass
 from functools import lru_cache
-from typing import Any
+from typing import Any, Sequence
 
 from repro.core.config import MachineConfig
 from repro.core.engine import ENGINE_VERSION
@@ -95,6 +95,31 @@ class SimJob:
     #: the recorder cannot cross a process or disk boundary — and are
     #: never stored in (or loaded from) the result cache.
     traced: bool = False
+
+    @classmethod
+    def grid(
+        cls,
+        machines: "Sequence[MachineConfig]",
+        schemes: "Sequence[Scheme | None]",
+        workloads: "Sequence[WorkloadSpec | Workload]",
+        **options: Any,
+    ) -> "list[SimJob]":
+        """The full (machine x scheme x workload) cartesian job grid.
+
+        ``schemes`` may include ``None`` to request the sequential
+        baseline alongside the TLS runs; ``options`` (engine flags such
+        as ``collect_metrics``) apply to every job. Order is
+        deterministic: machines outermost, workloads innermost — the
+        order the design-space exploration and sweep CLI both rely on to
+        map results back to grid cells.
+        """
+        return [
+            cls(machine=machine, workload=workload, scheme=scheme,
+                **options)
+            for machine in machines
+            for scheme in schemes
+            for workload in workloads
+        ]
 
     def resolve_workload(self) -> Workload:
         """The concrete workload for this job (generated if needed)."""

@@ -125,6 +125,49 @@ class TestScaledMachine:
         with pytest.raises(ConfigurationError):
             scaled_machine(NUMA_16, 0)
 
+    def test_grow_extends_latency_tables_to_new_diameter(self):
+        # A 6x6 mesh has diameter 10; every hop distance must resolve to
+        # a real (extrapolated) latency instead of silently folding onto
+        # the base table's 3-hop entry.
+        machine = scaled_machine(NUMA_16, 36)
+        assert machine.mesh_side == 6
+        assert machine.max_hops == 10
+        # Linear extrapolation continues the base table's last per-hop
+        # increment (291 - 208 = 83 cycles/hop).
+        assert machine.lat_memory_by_hops[4] == 291 + 83
+        assert machine.lat_memory_by_hops[10] == 291 + 7 * 83
+        # Corner-to-corner now uses the true distance, not the cap.
+        assert machine.hops(0, 35) == 10
+        assert machine.memory_latency(0, 35) == 291 + 7 * 83
+
+    def test_non_power_of_two_count_is_consistent(self):
+        # 27 processors -> 6x6 mesh (partially filled); the diameter is
+        # computed from the real node placement and every pair resolves.
+        machine = scaled_machine(NUMA_16, 27)
+        assert machine.mesh_side == 6
+        for a in range(machine.n_procs):
+            for b in range(machine.n_procs):
+                assert machine.memory_latency(a, b) > 0
+
+    def test_gap_in_base_table_rejected(self):
+        from dataclasses import replace
+
+        gappy = replace(NUMA_16, lat_memory_by_hops={0: 75, 1: 142, 3: 291})
+        with pytest.raises(ConfigurationError, match="gaps"):
+            scaled_machine(gappy, 36)
+
+    def test_single_entry_table_cannot_extrapolate(self):
+        from dataclasses import replace
+
+        local_only = replace(NUMA_16, lat_memory_by_hops={0: 75},
+                             lat_remote_cache_by_hops={0: 40})
+        with pytest.raises(ConfigurationError, match="extrapolate"):
+            scaled_machine(local_only, 36)
+
+    def test_shrink_preserves_base_table_entries(self):
+        machine = scaled_machine(NUMA_16, 4)
+        assert machine.lat_memory_by_hops == NUMA_16.lat_memory_by_hops
+
 
 class TestRegistry:
     def test_machines_registry(self):

@@ -1,0 +1,269 @@
+"""Design-space exploration: spaces, sweeps, crossovers, frontiers.
+
+Unit coverage for the pure pieces (axis derivation and naming, the
+bisection/saturation searches, Pareto classification) plus small
+simulation-backed integration checks: a one-axis sensitivity sweep, the
+overflow-capacity knob's monotone response, and the seed-invariance of
+the claim-relevant scheme orderings along one axis.
+"""
+
+import pytest
+
+from repro.core.config import CMP_8, NUMA_16, MACHINES
+from repro.core.engine import simulate
+from repro.core.supports import complexity_score
+from repro.core.taxonomy import (
+    EVALUATED_SCHEMES,
+    MULTI_T_MV_EAGER,
+    MULTI_T_MV_LAZY,
+    SINGLE_T_EAGER,
+)
+from repro.errors import ConfigurationError
+from repro.explore import (
+    AXES,
+    ParamSpace,
+    SensitivitySweep,
+    find_crossover,
+    find_saturation,
+    machine_registry,
+    pareto_frontier,
+)
+from repro.runner import SweepRunner, WorkloadSpec
+
+
+# ----------------------------------------------------------------------
+# ParamSpace
+# ----------------------------------------------------------------------
+class TestParamSpace:
+    def test_variant_names_are_stable_and_unique(self):
+        space = ParamSpace(NUMA_16)
+        names = [v.machine.name for v in space.all_variants()
+                 if not v.is_base]
+        assert len(names) == len(set(names))
+        again = [v.machine.name for v in ParamSpace(NUMA_16).all_variants()
+                 if not v.is_base]
+        assert names == again
+        assert "CC-NUMA-16~l2_size=1M" in names
+
+    def test_base_value_returns_base_unchanged(self):
+        space = ParamSpace(NUMA_16)
+        for axis in AXES:
+            base_value = AXES[axis].base_value(NUMA_16)
+            variant = space.variant(axis, base_value)
+            assert variant.is_base
+            assert variant.machine is NUMA_16
+
+    def test_identical_derivations_are_equal(self):
+        a = ParamSpace(NUMA_16).variant("n_procs", 8).machine
+        b = ParamSpace(NUMA_16).variant("n_procs", 8).machine
+        assert a == b
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown axis"):
+            ParamSpace(NUMA_16, axes=("l2_size", "bogus"))
+        with pytest.raises(ConfigurationError, match="not part"):
+            ParamSpace(NUMA_16, axes=("l2_size",)).axis("n_procs")
+
+    def test_every_axis_derives_valid_configs(self):
+        # Deriving must never produce a config that fails validation,
+        # on either paper machine.
+        for base in (NUMA_16, CMP_8):
+            for variant in ParamSpace(base).all_variants():
+                assert variant.machine.n_procs > 0
+                assert variant.machine.l2.n_sets > 0
+
+    def test_overflow_axis_sets_capacity(self):
+        variant = ParamSpace(NUMA_16).variant("overflow_capacity", 16)
+        assert variant.machine.costs.overflow_capacity_lines == 16
+        assert variant.label == "16"
+        unbounded = ParamSpace(NUMA_16).variant("overflow_capacity", None)
+        assert unbounded.is_base
+        assert unbounded.label == "unbounded"
+
+    def test_hop_latency_axis_scales_network_part_only(self):
+        variant = ParamSpace(NUMA_16).variant("hop_latency", 2.0)
+        mem = variant.machine.lat_memory_by_hops
+        assert mem[0] == 75  # local latency untouched
+        assert mem[2] == 75 + 2 * (208 - 75)
+
+    def test_hop_latency_axis_keeps_crossbar_flat(self):
+        variant = ParamSpace(CMP_8).variant("hop_latency", 4.0)
+        assert variant.machine.lat_memory_by_hops == {0: 102, 1: 102}
+
+    def test_variants_ordered_with_unbounded_last(self):
+        labels = [v.label for v in
+                  ParamSpace(NUMA_16).variants("overflow_capacity")]
+        assert labels[-1] == "unbounded"
+        assert labels[:-1] == sorted(labels[:-1], key=lambda s: int(s))
+
+    def test_machine_registry_covers_presets_and_variants(self):
+        registry = machine_registry()
+        for key in MACHINES:
+            assert key in registry
+        derived = [name for name in registry if "~" in name]
+        assert len(derived) > 15
+        assert len(set(registry)) == len(registry)
+
+
+# ----------------------------------------------------------------------
+# Crossover / saturation searches (synthetic metrics)
+# ----------------------------------------------------------------------
+class TestFindCrossover:
+    def test_finds_smallest_satisfying_candidate(self):
+        result = find_crossover([1, 2, 4, 8, 16],
+                                lambda v: 1.0 / v, threshold=0.25)
+        assert result.found and result.value == 4
+
+    def test_bisection_probe_count_is_logarithmic(self):
+        candidates = list(range(1, 1025))
+        calls = []
+
+        def metric(v):
+            calls.append(v)
+            return -float(v)
+
+        result = find_crossover(candidates, metric, threshold=-3.0)
+        assert result.found and result.value == 3
+        assert len(calls) <= 12  # ~log2(1024) + the hi probe
+
+    def test_not_found_reports_last_probe(self):
+        result = find_crossover([1, 2, 4], lambda v: 1.0, threshold=0.5)
+        assert not result.found
+        assert result.value is None
+        assert result.metric == 1.0
+        assert result.evaluations == 1
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            find_crossover([], lambda v: 0.0, threshold=0.0)
+
+    def test_history_records_probes(self):
+        result = find_crossover([1, 2], lambda v: 0.0, threshold=0.5,
+                                label=lambda v: f"v{v}")
+        assert ("v2", 0.0) in result.history
+
+
+class TestFindSaturation:
+    def test_knee_detected(self):
+        table = {1: 1.0, 2: 0.6, 4: 0.55, 8: 0.54}
+        result = find_saturation(list(table), table.__getitem__,
+                                 marginal=0.10)
+        assert result.found and result.value == 4
+
+    def test_never_saturating_reports_not_found(self):
+        result = find_saturation([1, 2, 4], lambda v: 1.0 / v,
+                                 marginal=0.05)
+        assert not result.found
+
+    def test_needs_two_candidates(self):
+        with pytest.raises(ConfigurationError):
+            find_saturation([1], lambda v: 0.0)
+
+
+# ----------------------------------------------------------------------
+# Pareto classification (synthetic times)
+# ----------------------------------------------------------------------
+class TestParetoFrontier:
+    def test_dominated_point_names_its_dominators(self):
+        points = pareto_frontier({
+            "SingleT Eager AMM": 0.8,        # complexity 0
+            "MultiT&MV Eager AMM": 0.6,      # complexity 2
+            "MultiT&MV Lazy AMM": 0.55,      # complexity 5
+            "MultiT&MV FMM": 0.56,           # complexity 9
+        })
+        by_name = {p.scheme_name: p for p in points}
+        assert by_name["SingleT Eager AMM"].on_frontier
+        assert by_name["MultiT&MV Lazy AMM"].on_frontier
+        fmm = by_name["MultiT&MV FMM"]
+        assert not fmm.on_frontier
+        assert fmm.dominated_by == ("MultiT&MV Lazy AMM",)
+
+    def test_equal_points_do_not_dominate_each_other(self):
+        points = pareto_frontier(
+            {"a": 0.5, "b": 0.5}, complexities={"a": 1, "b": 1})
+        assert all(p.on_frontier for p in points)
+
+    def test_sorted_by_complexity_then_time(self):
+        points = pareto_frontier(
+            {s.name: 0.5 for s in EVALUATED_SCHEMES})
+        scores = [p.complexity for p in points]
+        assert scores == sorted(scores)
+        assert scores[0] == 0  # SingleT Eager AMM needs no supports
+        expected = {s.name: complexity_score(s) for s in EVALUATED_SCHEMES}
+        assert all(p.complexity == expected[p.scheme_name] for p in points)
+
+
+# ----------------------------------------------------------------------
+# Simulation-backed integration
+# ----------------------------------------------------------------------
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def runner():
+    """Cache-less serial runner shared by the integration tests."""
+    return SweepRunner(jobs=1, cache=None)
+
+
+class TestSensitivitySweepIntegration:
+    def test_one_axis_curves(self, runner):
+        space = ParamSpace(NUMA_16, axes=("l2_size",))
+        sweep = SensitivitySweep(
+            space, (SINGLE_T_EAGER, MULTI_T_MV_LAZY), ("Euler",),
+            scale=SCALE, runner=runner)
+        curves = sweep.run(values={"l2_size": (256 * 1024, 512 * 1024)})
+        assert set(curves) == {"l2_size"}
+        assert len(curves["l2_size"]) == 2  # one per (scheme, app)
+        for curve in curves["l2_size"]:
+            assert curve.labels == ("256K", "512K")
+            assert all(0 < t < 1 for t in curve.norm_times)
+            assert all(p.speedup > 1 for p in curve.points)
+
+    def test_seed_invariant_orderings_along_axis(self, runner):
+        # The claim-relevant orderings (MultiT&MV <= SingleT Eager;
+        # Lazy <= Eager) must hold at every point of the L2-size axis
+        # for every seed — the paper's conclusions are not an artifact
+        # of one workload draw.
+        space = ParamSpace(NUMA_16, axes=("l2_size",))
+        for seed in (0, 1, 2):
+            sweep = SensitivitySweep(
+                space,
+                (SINGLE_T_EAGER, MULTI_T_MV_EAGER, MULTI_T_MV_LAZY),
+                ("Euler",), scale=SCALE, seed=seed, runner=runner)
+            curves = sweep.run(
+                values={"l2_size": (256 * 1024, 512 * 1024)})["l2_size"]
+            by_scheme = {c.scheme_name: c.norm_times for c in curves}
+            single = by_scheme[SINGLE_T_EAGER.name]
+            eager = by_scheme[MULTI_T_MV_EAGER.name]
+            lazy = by_scheme[MULTI_T_MV_LAZY.name]
+            for i in range(len(single)):
+                assert eager[i] <= single[i], f"seed {seed}, point {i}"
+                assert lazy[i] <= eager[i], f"seed {seed}, point {i}"
+
+
+class TestOverflowCapacityKnob:
+    def test_finite_capacity_slows_overflow_heavy_app(self):
+        # P3m at quarter scale pressures the overflow area under
+        # MultiT&MV Eager; squeezing the reservation must cost cycles,
+        # and the unbounded default must match the base machine exactly
+        # (the bit-identity guarantee behind the golden corpus).
+        workload = WorkloadSpec(app="P3m", scale=0.25).generate()
+        space = ParamSpace(NUMA_16, axes=("overflow_capacity",))
+        base = simulate(NUMA_16, MULTI_T_MV_EAGER, workload).total_cycles
+        tight = simulate(
+            space.variant("overflow_capacity", 2).machine,
+            MULTI_T_MV_EAGER, workload).total_cycles
+        loose = simulate(
+            space.variant("overflow_capacity", 16).machine,
+            MULTI_T_MV_EAGER, workload).total_cycles
+        assert tight > loose > base
+        unbounded = space.variant("overflow_capacity", None)
+        assert unbounded.is_base
+        assert simulate(unbounded.machine, MULTI_T_MV_EAGER,
+                        workload).total_cycles == base
+
+    def test_capacity_validation(self):
+        from repro.core.config import CostModel
+
+        with pytest.raises(ConfigurationError, match="positive or None"):
+            CostModel(overflow_capacity_lines=0)

@@ -61,6 +61,40 @@ def test_cache_key_separates_machines_sharing_a_display_name():
             != _job(machine=NUMA_16_BIG_L2).cache_key())
 
 
+def test_cache_key_identity_of_derived_configs():
+    # Two independent ParamSpace derivations with identical parameters
+    # must land on the same cache entry; any parameter change must miss.
+    from repro.explore import ParamSpace
+
+    first = ParamSpace(NUMA_16).variant("l2_size", 1024 * 1024)
+    second = ParamSpace(NUMA_16).variant("l2_size", 1024 * 1024)
+    assert first.machine == second.machine
+    assert (_job(machine=first.machine).cache_key()
+            == _job(machine=second.machine).cache_key())
+
+    other_value = ParamSpace(NUMA_16).variant("l2_size", 2 * 1024 * 1024)
+    assert (_job(machine=first.machine).cache_key()
+            != _job(machine=other_value.machine).cache_key())
+
+    # Same value on a different axis is a different machine even if the
+    # timing-relevant knobs could coincide.
+    other_axis = ParamSpace(NUMA_16).variant("overflow_capacity", 16)
+    assert (_job(machine=first.machine).cache_key()
+            != _job(machine=other_axis.machine).cache_key())
+
+
+def test_base_value_variant_shares_cache_key_with_base():
+    # Deriving an axis's base value returns the base config itself, so
+    # exploration runs reuse the figure/report pipelines' cache entries.
+    from repro.explore import ParamSpace
+
+    variant = ParamSpace(NUMA_16).variant("l2_size", 512 * 1024)
+    assert variant.is_base
+    assert variant.machine is NUMA_16
+    assert (_job(machine=variant.machine).cache_key()
+            == _job(machine=NUMA_16).cache_key())
+
+
 def test_cache_key_includes_engine_version(monkeypatch):
     import repro.runner.jobs as jobs_mod
 
