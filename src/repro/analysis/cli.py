@@ -144,13 +144,26 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
 
 def _run_bench(args: argparse.Namespace) -> int:
-    from repro.runner.bench import render_report, run_bench
+    from repro.runner.bench import (
+        profile_engine,
+        render_report,
+        run_bench,
+    )
 
+    if args.profile:
+        listing = profile_engine(output=args.profile_output)
+        print(listing.splitlines()[0])
+        print(f"profile written to {args.profile_output}")
+        return 0
     report = run_bench(smoke=args.smoke, jobs=args.jobs, seed=args.seed,
                        output=args.bench_output)
     print(render_report(report))
     if not report["determinism"]["bit_identical"]:
         print("FAIL: results differ across serial/pool/cache-replay",
+              file=sys.stderr)
+        return 1
+    if args.check_floor and not report["floor"]["passed"]:
+        print("FAIL: engine throughput below the committed perf floor",
               file=sys.stderr)
         return 1
     return 0
@@ -373,13 +386,24 @@ cache-replayed results are bit-identical, and writes the JSON report.
 exits non-zero if determinism is violated.
 
 examples:
-  repro-tls bench --smoke                # the CI configuration
+  repro-tls bench --smoke                # sanity configuration
+  repro-tls bench --smoke --check-floor  # the CI perf gate
   repro-tls bench --jobs 16 --bench-output /tmp/bench.json
+  repro-tls bench --profile              # cProfile one cell to docs/report/
 """)
     _add_common(p_bench)
     p_bench.add_argument("--smoke", action="store_true", help=_SMOKE_HELP)
     p_bench.add_argument("--bench-output", default="BENCH_sweep.json",
                          help="report path (default BENCH_sweep.json)")
+    p_bench.add_argument("--check-floor", action="store_true",
+                         help="exit non-zero if engine events/sec falls "
+                              "below the committed regression floor")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="skip the bench; cProfile one representative "
+                              "cell and write the top-30 cumulative listing")
+    p_bench.add_argument("--profile-output", default="docs/report/profile.txt",
+                         help="profile listing path "
+                              "(default docs/report/profile.txt)")
     p_bench.set_defaults(func=_run_bench)
 
     p_validate = sub.add_parser(

@@ -30,11 +30,11 @@ violations — is preserved to memory-latency resolution.
 
 from __future__ import annotations
 
-import heapq
 import time
 from typing import Any, Callable
 
 from repro.core.config import MachineConfig
+from repro.core.events import BucketQueue
 from repro.core.results import SimulationResult, TaskTiming, TrafficStats
 from repro.core.taxonomy import MergePolicy, Scheme, TaskPolicy
 from repro.errors import ConfigurationError, SimulationError
@@ -124,8 +124,9 @@ class Simulation:
 
         # Event queue: (time, seq, bound method, args). The callback is
         # stored unwrapped with its arguments so the hot loop never
-        # allocates a closure per event.
-        self._events: list[tuple[float, int, Callable[..., None], tuple]] = []
+        # allocates a closure per event; the calendar buckets keep each
+        # push/pop from ordering against every other pending event.
+        self._events = BucketQueue()
         self._seq = 0
         self._events_processed = 0
         self._wall_clock_seconds = 0.0
@@ -153,6 +154,27 @@ class Simulation:
         self._l3_lines: set[int] | None = (
             set() if machine.lat_l3 is not None else None
         )
+        # Pre-bound dispatch state (engine-core v2): the per-op handlers
+        # branch on the scheme's taxonomy point and the machine's latency
+        # constants millions of times per run, so enum comparisons and
+        # attribute chains are resolved once here and the hot paths read
+        # plain local/instance values.
+        self._is_fmm = scheme.merge_policy is MergePolicy.FMM
+        self._is_lazy = scheme.merge_policy is MergePolicy.LAZY_AMM
+        self._is_eager = scheme.merge_policy is MergePolicy.EAGER_AMM
+        self._is_single_t = scheme.task_policy is TaskPolicy.SINGLE_T
+        self._is_sv = scheme.task_policy is TaskPolicy.MULTI_T_SV
+        self._is_mv = scheme.task_policy is TaskPolicy.MULTI_T_MV
+        self._line_gran = violation_granularity == "line"
+        self._lat_l1f = float(machine.lat_l1)
+        self._lat_l2f = float(machine.lat_l2)
+        self._ipc = self.costs.ipc
+        self._overflow_pen = self.costs.overflow_penalty
+        self._crl_select = self.costs.crl_select
+        self._vcl_combine = self.costs.vcl_combine
+        self._ov_cap = self.costs.overflow_capacity_lines
+        self._ov_excess = float(self.costs.overflow_excess_penalty)
+        self._bank_service = self.costs.memory_bank_service
         # Procs with no runnable work, waiting for squash re-enqueues.
         self._idle_procs: set[int] = set()
         # In-flight op accounting: proc -> (start, busy, mem) for exact
@@ -185,29 +207,51 @@ class Simulation:
         if when < self.now - 1e-9:
             raise SimulationError(f"scheduling into the past: {when} < {self.now}")
         self._seq += 1
-        heapq.heappush(self._events, (when, self._seq, fn, args))
+        self._events.push((when, self._seq, fn, args))
 
     def run(self) -> SimulationResult:
-        """Execute the workload to completion and return the result."""
+        """Execute the workload to completion and return the result.
+
+        The event loop comes in two compiled-in variants — with and
+        without an observation hook — selected once here, so an
+        unobserved run's dispatch path carries no per-event hook test at
+        all (attaching a hook swaps the dispatch loop rather than
+        flipping a flag the loop would have to re-check).
+        """
         started = time.perf_counter()
         for proc in self.procs:
             self._claim(proc, 0.0)
-        # Hot loop: bind everything it touches to locals once.
-        events = self._events
-        heappop = heapq.heappop
-        max_events = self.max_events
-        processed = self._events_processed
         hook = self.hook
         if hook is not None:
             hook.on_start(self)
+        try:
+            if hook is None:
+                self._drain_events()
+            else:
+                self._drain_events_hooked(hook)
+        finally:
+            self._wall_clock_seconds = time.perf_counter() - started
+        result = self._build_result()
+        if hook is not None:
+            hook.on_finish(self, result)
+        return result
+
+    def _drain_events(self) -> None:
+        """Hot dispatch loop (no hook attached): pop, advance time, call."""
+        # Bind everything the loop touches to locals once.
+        events = self._events
+        pop = events.pop
+        max_events = self.max_events
+        processed = self._events_processed
         try:
             while not self._finished:
                 if not events:
                     raise SimulationError(
                         f"event queue empty before completion "
-                        f"(committed {self.commit.next_to_commit}/{self.commit.n_tasks})"
+                        f"(committed {self.commit.next_to_commit}/"
+                        f"{self.commit.n_tasks})"
                     )
-                when, _seq, fn, args = heappop(events)
+                when, _seq, fn, args = pop()
                 self.now = when
                 processed += 1
                 if processed > max_events:
@@ -215,15 +259,36 @@ class Simulation:
                         f"exceeded {self.max_events} events; likely livelock"
                     )
                 fn(*args, when)
-                if hook is not None:
-                    hook.after_event(self, when)
         finally:
             self._events_processed = processed
-            self._wall_clock_seconds = time.perf_counter() - started
-        result = self._build_result()
-        if hook is not None:
-            hook.on_finish(self, result)
-        return result
+
+    def _drain_events_hooked(self, hook: "SimulationHook") -> None:
+        """Dispatch loop variant with a hook: identical except for the
+        per-event ``after_event`` call."""
+        events = self._events
+        pop = events.pop
+        max_events = self.max_events
+        processed = self._events_processed
+        after_event = hook.after_event
+        try:
+            while not self._finished:
+                if not events:
+                    raise SimulationError(
+                        f"event queue empty before completion "
+                        f"(committed {self.commit.next_to_commit}/"
+                        f"{self.commit.n_tasks})"
+                    )
+                when, _seq, fn, args = pop()
+                self.now = when
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"exceeded {self.max_events} events; likely livelock"
+                    )
+                fn(*args, when)
+                after_event(self, when)
+        finally:
+            self._events_processed = processed
 
     # ==================================================================
     # Task claiming and op processing
@@ -258,42 +323,50 @@ class Simulation:
         if run is None:
             raise SimulationError(f"P{proc.proc_id} advancing without a task")
         ops = run.spec.ops
+        n_ops = len(ops)
+        i = run.op_index
+        ipc = self._ipc
         busy = 0.0
-        while run.op_index < len(ops):
-            kind, value = ops[run.op_index]
+        while i < n_ops:
+            kind, value = ops[i]
             if kind != OP_COMPUTE:
                 break
-            busy += self.costs.cycles_for_instructions(value)
-            run.op_index += 1
+            busy += value / ipc
+            i += 1
+        run.op_index = i
         if busy > 0:
             self._schedule_op_done(proc, run, now, busy=busy, mem=0.0)
             return
-        if run.op_index >= len(ops):
+        if i >= n_ops:
             self._task_done(proc, run, now)
             return
-        kind, value = ops[run.op_index]
-        if kind == OP_WRITE and self._sv_conflict(proc, run, value):
+        kind, value = ops[i]
+        if kind == OP_WRITE and self._is_sv:
             blocker = self._sv_blocker(proc, run, value)
-            run.state = TaskState.SV_STALLED
-            proc.park(now, CycleCategory.SV_STALL, sv_blocker=blocker)
-            if self.trace is not None:
-                self.trace.emit(TraceEvent.SV_STALL, now, run.task_id,
-                                proc.proc_id, detail=blocker)
-            return
+            if blocker is not None:
+                run.state = TaskState.SV_STALLED
+                proc.park(now, CycleCategory.SV_STALL, sv_blocker=blocker)
+                if self.trace is not None:
+                    self.trace.emit(TraceEvent.SV_STALL, now, run.task_id,
+                                    proc.proc_id, detail=blocker)
+                return
         if kind == OP_READ:
             latency, extra_busy = self._do_read(proc, run, value, now)
         else:
             latency, extra_busy = self._do_write(proc, run, value, now)
-        run.op_index += 1
+        run.op_index = i + 1
         self._schedule_op_done(proc, run, now, busy=extra_busy, mem=latency)
 
     def _schedule_op_done(self, proc: Processor, run: TaskRun, now: float,
                           *, busy: float, mem: float) -> None:
         self._inflight[proc.proc_id] = (now, busy, mem)
-        self._schedule(
-            now + busy + mem, self._op_done,
+        # Direct push: durations are non-negative by construction, so the
+        # scheduling-into-the-past check of _schedule is redundant here.
+        self._seq += 1
+        self._events.push((
+            now + busy + mem, self._seq, self._op_done,
             (proc, proc.epoch, run, run.attempt, busy, mem),
-        )
+        ))
 
     def _op_done(
         self,
@@ -308,8 +381,7 @@ class Simulation:
         if proc.epoch != epoch or run.attempt != attempt:
             return  # aborted by a squash; accounting handled there
         self._inflight.pop(proc.proc_id, None)
-        proc.account.add(CycleCategory.BUSY, busy)
-        proc.account.add(CycleCategory.MEMORY, mem)
+        proc.account.add_op(busy, mem)
         run.attempt_busy += busy
         self._advance(proc, now)
 
@@ -353,7 +425,7 @@ class Simulation:
     ) -> tuple[float, float]:
         producer = self.directory.version_for_read(word, run.task_id)
         latency = self._fetch_latency(proc, line_of(word), producer, now)
-        if producer == run.task_id and self.violation_granularity == "line":
+        if producer == run.task_id and self._line_gran:
             # Line-granularity hardware sets a per-line read bit even when
             # the task only consumes its own word: the rest of the line
             # copy dates from before this task's version, so an
@@ -382,13 +454,13 @@ class Simulation:
         if own_l1 is not None:
             proc.l1.touch(own_l1, now)
             own_l1.dirty = True
-            latency = float(self.machine.lat_l1)
+            latency = self._lat_l1f
         elif own_l2 is not None:
             proc.l2.touch(own_l2, now)
             own_l2.dirty = True
             self._install(proc.l1, proc, line, tid, dirty=True,
                           committed=False, now=now)
-            latency = float(self.machine.lat_l2)
+            latency = self._lat_l2f
         elif proc.overflow.holds(line, tid):
             # Refetch the task's own overflowed version (the excess
             # penalty is judged on occupancy before the version is
@@ -397,7 +469,7 @@ class Simulation:
             proc.overflow.fetch(line, tid)
             home = self.machine.home_node(line)
             latency = (self._mem_lat[proc.proc_id][home]
-                       + self.costs.overflow_penalty + excess)
+                       + self._overflow_pen + excess)
             self._install_both(proc, line, tid, dirty=True, now=now)
         else:
             # First write (or version displaced to memory under FMM):
@@ -406,18 +478,18 @@ class Simulation:
                 # HLAP: the compiler declared this data mostly-private and
                 # fully overwritten, so the line is allocated locally
                 # without fetching the stale previous version.
-                latency = float(self.machine.lat_l2)
+                latency = self._lat_l2f
             else:
                 prev = self.directory.latest_version_at_most(word, tid)
                 latency = self._fetch_latency(proc, line, prev, now,
                                               install_copy=False)
-            if self.scheme.merge_policy is MergePolicy.FMM:
+            if self._is_fmm:
                 extra_busy += self._fmm_log_overwrite(proc, run, line, now)
             self._install_both(proc, line, tid, dirty=True, now=now)
 
         run.record_write(word)
         violated = self.directory.record_write(word, tid)
-        if self.violation_granularity == "line":
+        if self._line_gran:
             # Conservative line-granularity detection: readers of *any*
             # word in the written line are (falsely) violated too.
             for other in words_of_line(line):
@@ -492,7 +564,7 @@ class Simulation:
         hit = proc.l1.find(line, producer)
         if hit is not None:
             proc.l1.touch(hit, now)
-            return float(self.machine.lat_l1)
+            return self._lat_l1f
         proc.l1.record_miss()
         hit = proc.l2.find(line, producer)
         if hit is not None:
@@ -500,7 +572,7 @@ class Simulation:
             if install_copy:
                 self._install(proc.l1, proc, line, producer, dirty=False,
                               committed=hit.committed, now=now)
-            return float(self.machine.lat_l2)
+            return self._lat_l2f
         proc.l2.record_miss()
         latency, cacheable = self._global_fetch(proc, line, producer)
         if install_copy and cacheable:
@@ -531,16 +603,14 @@ class Simulation:
             if entry is not None:
                 lat = self._remote_lat[proc.proc_id][owner_id]
                 self.traffic.remote_cache_fetches += 1
-                if (self.scheme.task_policy is TaskPolicy.MULTI_T_MV
-                        and len(owner.l2.entries(line)) > 1):
-                    lat += self.costs.crl_select
-                if (entry.committed
-                        and self.scheme.merge_policy is MergePolicy.LAZY_AMM):
-                    lat += self.costs.vcl_combine
+                if self._is_mv and owner.l2.version_count(line) > 1:
+                    lat += self._crl_select
+                if entry.committed and self._is_lazy:
+                    lat += self._vcl_combine
                 return lat, committed
             if owner.overflow.holds(line, producer):
                 lat = (self._mem_lat[proc.proc_id][owner_id]
-                       + self.costs.overflow_penalty
+                       + self._overflow_pen
                        + self._overflow_excess_penalty(owner))
                 self.traffic.overflow_fetches += 1
                 return lat, committed
@@ -566,7 +636,7 @@ class Simulation:
         bank for that many cycles; concurrent requests to the same bank
         serialize and the requester pays the wait.
         """
-        service = self.costs.memory_bank_service
+        service = self._bank_service
         if not service:
             return 0.0
         start = max(self.now, self._bank_free[home])
@@ -634,14 +704,14 @@ class Simulation:
         access to the overloaded area pays this penalty. Zero when the
         capacity is unbounded (the default), keeping base timing intact.
         """
-        cap = self.costs.overflow_capacity_lines
+        cap = self._ov_cap
         if cap is not None and len(proc.overflow) > cap:
-            return float(self.costs.overflow_excess_penalty)
+            return self._ov_excess
         return 0.0
 
     def _overflow_excess_lines(self, proc: Processor, drained: int) -> int:
         """How many of ``drained`` overflow lines sit beyond capacity."""
-        cap = self.costs.overflow_capacity_lines
+        cap = self._ov_cap
         if cap is None:
             return 0
         return min(drained, max(0, len(proc.overflow) - cap))

@@ -2,10 +2,11 @@
 
 A :class:`SimulationHook` passed to :class:`~repro.core.engine.Simulation`
 is called around the event loop: once before the first event, after every
-processed event, and once when the run completes. The engine guards every
-call site with a single ``hook is not None`` branch, so a run without a
-hook pays one predictable branch per event and nothing else — the hot
-loop stays allocation-free.
+processed event, and once when the run completes. Attaching a hook selects
+a separate dispatch-loop variant compiled with the per-event callback
+baked in; an unhooked run drains events through a loop that contains no
+hook test at all, so observation costs nothing unless requested — and the
+hot loop stays allocation-free either way.
 
 Hooks are *observers*: they may read any engine state but must not mutate
 it, schedule events, or otherwise perturb the simulated machine. The

@@ -12,11 +12,30 @@ one a reader must receive is decided by the global
 given version is locally resident, and applies LRU replacement so that
 version pressure on a set produces displacements (the effect that hurts P3m
 under AMM in Figure 10).
+
+Storage layout (engine-core v2): resident lines are *interned* in three
+coherent indexes —
+
+* ``_sets`` — per-set insertion-ordered lists, the source of truth for LRU
+  victim selection (ties on ``last_touch`` break by list position, exactly
+  as the original single-structure implementation did);
+* ``_by_line`` — ``line_addr -> {task_id: entry}``, making :meth:`find` /
+  :meth:`entries` / :meth:`version_count` O(1) instead of a set scan;
+* ``_by_task`` — ``task_id -> {line_addr: entry}``, making the bulk
+  commit/squash operations (:meth:`invalidate_task`, :meth:`drain_task`,
+  :meth:`mark_committed`, :meth:`lines_of_task`) proportional to the
+  task's resident footprint instead of the whole cache geometry. Squash
+  recovery previously swept every set of every cache per victim task and
+  dominated the engine profile.
+
+A ``(line_addr, task_id)`` pair is resident at most once, so the three
+indexes stay in lock-step through the single :meth:`_link` /
+:meth:`_unlink` pair.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.core.config import CacheGeometry
@@ -70,6 +89,9 @@ class CacheStats:
         return self.hits / self.accesses if self.accesses else 0.0
 
 
+_EMPTY: dict = {}
+
+
 class VersionCache:
     """A set-associative cache of :class:`CacheLine` versions.
 
@@ -85,8 +107,44 @@ class VersionCache:
         self.name = name
         self._set_mask = geometry.n_sets - 1
         self._sets: list[list[CacheLine]] = [[] for _ in range(geometry.n_sets)]
+        #: line_addr -> {task_id: entry}, insertion-ordered like the sets.
+        self._by_line: dict[int, dict[int, CacheLine]] = {}
+        #: task_id -> {line_addr: entry}; a task has at most one version
+        #: of a line per cache, so the line address is a unique key.
+        self._by_task: dict[int, dict[int, CacheLine]] = {}
         self._resident = 0
         self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+    def _link(self, entry: CacheLine, cache_set: list[CacheLine]) -> None:
+        """Intern a new resident entry into all three indexes."""
+        cache_set.append(entry)
+        line_versions = self._by_line.get(entry.line_addr)
+        if line_versions is None:
+            self._by_line[entry.line_addr] = {entry.task_id: entry}
+        else:
+            line_versions[entry.task_id] = entry
+        task_lines = self._by_task.get(entry.task_id)
+        if task_lines is None:
+            self._by_task[entry.task_id] = {entry.line_addr: entry}
+        else:
+            task_lines[entry.line_addr] = entry
+        self._resident += 1
+
+    def _unlink(self, entry: CacheLine, cache_set: list[CacheLine]) -> None:
+        """Remove a resident entry from all three indexes."""
+        cache_set.remove(entry)
+        line_versions = self._by_line[entry.line_addr]
+        del line_versions[entry.task_id]
+        if not line_versions:
+            del self._by_line[entry.line_addr]
+        task_lines = self._by_task[entry.task_id]
+        del task_lines[entry.line_addr]
+        if not task_lines:
+            del self._by_task[entry.task_id]
+        self._resident -= 1
 
     # ------------------------------------------------------------------
     # Lookup
@@ -96,15 +154,20 @@ class VersionCache:
 
     def entries(self, line_addr: int) -> list[CacheLine]:
         """All resident versions of ``line_addr`` (any task ID)."""
-        return [e for e in self._sets[self.set_index(line_addr)]
-                if e.line_addr == line_addr]
+        versions = self._by_line.get(line_addr)
+        return list(versions.values()) if versions else []
+
+    def version_count(self, line_addr: int) -> int:
+        """How many versions of ``line_addr`` are resident (O(1))."""
+        versions = self._by_line.get(line_addr)
+        return len(versions) if versions else 0
 
     def find(self, line_addr: int, task_id: int) -> CacheLine | None:
         """The exact (address, task-ID) version, or ``None``."""
-        for entry in self._sets[self.set_index(line_addr)]:
-            if entry.line_addr == line_addr and entry.task_id == task_id:
-                return entry
-        return None
+        versions = self._by_line.get(line_addr)
+        if versions is None:
+            return None
+        return versions.get(task_id)
 
     def find_speculative(self, line_addr: int) -> list[CacheLine]:
         """All resident *speculative* versions of ``line_addr``."""
@@ -133,7 +196,8 @@ class VersionCache:
         written). If every entry is unevictable a :class:`SimulationError`
         is raised — associativity must exceed the number of pinned lines.
         """
-        existing = self.find(line.line_addr, line.task_id)
+        versions = self._by_line.get(line.line_addr)
+        existing = versions.get(line.task_id) if versions is not None else None
         if existing is not None:
             existing.dirty = existing.dirty or line.dirty
             # A version, once committed, never reverts to speculative.
@@ -142,7 +206,7 @@ class VersionCache:
             return None
 
         line.last_touch = now
-        cache_set = self._sets[self.set_index(line.line_addr)]
+        cache_set = self._sets[line.line_addr & self._set_mask]
         victim: CacheLine | None = None
         if len(cache_set) >= self.geometry.assoc:
             candidates = [e for e in cache_set
@@ -153,31 +217,27 @@ class VersionCache:
                     f"{self.set_index(line.line_addr)}"
                 )
             victim = min(candidates, key=lambda e: e.last_touch)
-            cache_set.remove(victim)
-            self._resident -= 1
+            self._unlink(victim, cache_set)
             self.stats.displacements += 1
             if victim.speculative and victim.dirty:
                 self.stats.speculative_displacements += 1
             if victim.committed and victim.dirty:
                 self.stats.committed_dirty_displacements += 1
-        cache_set.append(line)
-        self._resident += 1
-        self.stats.peak_resident_lines = max(
-            self.stats.peak_resident_lines, self._resident
-        )
+        self._link(line, cache_set)
+        if self._resident > self.stats.peak_resident_lines:
+            self.stats.peak_resident_lines = self._resident
         return victim
 
     def remove(self, entry: CacheLine) -> None:
         """Remove a specific resident entry."""
-        cache_set = self._sets[self.set_index(entry.line_addr)]
-        try:
-            cache_set.remove(entry)
-        except ValueError:
+        cache_set = self._sets[entry.line_addr & self._set_mask]
+        resident = self.find(entry.line_addr, entry.task_id)
+        if resident is not entry:
             raise SimulationError(
                 f"{self.name}: removing non-resident line "
                 f"{entry.line_addr:#x} task {entry.task_id}"
-            ) from None
-        self._resident -= 1
+            )
+        self._unlink(entry, cache_set)
 
     # ------------------------------------------------------------------
     # Bulk operations used by commit / squash / merge
@@ -185,14 +245,17 @@ class VersionCache:
     def invalidate_task(self, task_id: int) -> int:
         """Drop every line owned by ``task_id`` (AMM squash recovery).
 
-        Returns the number of lines invalidated.
+        Returns the number of lines invalidated. O(resident lines of the
+        task): the per-task index hands us exactly the entries to drop,
+        where the original implementation swept every set in the cache.
         """
+        task_lines = self._by_task.get(task_id)
+        if not task_lines:
+            return 0
         dropped = 0
-        for cache_set in self._sets:
-            keep = [e for e in cache_set if e.task_id != task_id]
-            dropped += len(cache_set) - len(keep)
-            cache_set[:] = keep
-        self._resident -= dropped
+        for entry in list(task_lines.values()):
+            self._unlink(entry, self._sets[entry.line_addr & self._set_mask])
+            dropped += 1
         return dropped
 
     def mark_committed(self, task_id: int) -> list[CacheLine]:
@@ -200,12 +263,14 @@ class VersionCache:
 
         Returns the lines affected so the caller can account for them.
         """
+        task_lines = self._by_task.get(task_id)
+        if not task_lines:
+            return []
         marked = []
-        for cache_set in self._sets:
-            for entry in cache_set:
-                if entry.task_id == task_id and not entry.committed:
-                    entry.committed = True
-                    marked.append(entry)
+        for entry in task_lines.values():
+            if not entry.committed:
+                entry.committed = True
+                marked.append(entry)
         return marked
 
     def drain_task(self, task_id: int, *, clean: bool) -> list[CacheLine]:
@@ -215,17 +280,20 @@ class VersionCache:
         architectural data (they were just written back to memory); with
         ``clean=False`` they are removed.
         """
+        task_lines = self._by_task.get(task_id)
+        if not task_lines:
+            return []
         drained = []
-        for cache_set in self._sets:
-            for entry in list(cache_set):
-                if entry.task_id == task_id and entry.dirty:
-                    drained.append(entry)
-                    if clean:
-                        entry.dirty = False
-                        entry.committed = True
-                    else:
-                        cache_set.remove(entry)
-                        self._resident -= 1
+        for entry in list(task_lines.values()):
+            if entry.dirty:
+                drained.append(entry)
+                if clean:
+                    entry.dirty = False
+                    entry.committed = True
+                else:
+                    self._unlink(
+                        entry, self._sets[entry.line_addr & self._set_mask]
+                    )
         return drained
 
     def committed_dirty(self) -> list[CacheLine]:
@@ -233,7 +301,7 @@ class VersionCache:
         return [e for s in self._sets for e in s if e.committed and e.dirty]
 
     def lines_of_task(self, task_id: int) -> list[CacheLine]:
-        return [e for s in self._sets for e in s if e.task_id == task_id]
+        return list(self._by_task.get(task_id, _EMPTY).values())
 
     def __iter__(self) -> Iterator[CacheLine]:
         for cache_set in self._sets:

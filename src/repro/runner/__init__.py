@@ -10,11 +10,13 @@ replay prior simulations instead of recomputing them. See
 from repro.runner.cache import (
     CACHE_ENV_VAR,
     DEFAULT_CACHE_DIR,
+    MemoryResultCache,
     ResultCache,
     default_cache_root,
 )
 from repro.runner.jobs import SimJob, WorkloadSpec
 from repro.runner.runner import (
+    DEFAULT_CHUNK_SIZE,
     SweepRunner,
     default_jobs,
     execute_job,
@@ -25,6 +27,8 @@ from repro.runner.runner import (
 __all__ = [
     "CACHE_ENV_VAR",
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_CHUNK_SIZE",
+    "MemoryResultCache",
     "ResultCache",
     "SimJob",
     "SweepRunner",

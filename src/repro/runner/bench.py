@@ -37,6 +37,11 @@ SEED_SWEEP_SECONDS = 30.80
 #: Events/second of the engine microbench on the pre-optimization seed
 #: engine in this container. Reference point for the >=1.15x target.
 SEED_EVENTS_PER_SECOND = 37_246.0
+#: Committed perf-regression floor for the CI gate: the seed baseline
+#: minus a 10% noise allowance. The ``perf-smoke`` CI job fails when the
+#: smoke engine bench drops below this (the optimized engine runs at
+#: several times the seed, so tripping it means a real regression).
+FLOOR_EVENTS_PER_SECOND = SEED_EVENTS_PER_SECOND * 0.9
 
 #: Canonical engine-microbench grid (a subset keeps the bench short
 #: while covering eager/lazy merging and AMM/FMM buffering).
@@ -103,25 +108,49 @@ def _figure9_sweep(scale: float, seed: int, jobs: int,
 
 def run_sweep_bench(scale: float = 1.0, seed: int = 0,
                     jobs: int | None = None) -> dict[str, Any]:
-    """Figure-9 sweep wall-clock: serial / parallel cold / warm cache."""
+    """Figure-9 sweep wall-clock: serial / parallel cold / warm cache.
+
+    ``pool_width`` reports the width the parallel sweep actually ran at.
+    On a single-CPU container (or with ``jobs=1``) there is no parallel
+    configuration to measure: the parallel leg is skipped with an
+    explicit note instead of silently timing a serial run and labeling
+    it parallel, and the warm-cache leg replays a cache populated by an
+    untimed serial pass.
+    """
     jobs = jobs if jobs is not None else default_jobs()
+    pool_width = max(jobs, 1)
+    parallel_cold: float | None
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         serial_cold = _figure9_sweep(scale, seed, 1, None)
-        parallel_cold = _figure9_sweep(scale, seed, jobs, tmp)
+        if pool_width >= 2:
+            parallel_cold = _figure9_sweep(scale, seed, jobs, tmp)
+        else:
+            parallel_cold = None
+            _figure9_sweep(scale, seed, 1, tmp)  # populate the warm cache
         warm_cache = _figure9_sweep(scale, seed, jobs, tmp)
     report: dict[str, Any] = {
         "scale": scale,
         "jobs": jobs,
+        "pool_width": pool_width,
+        "cpu_count": os.cpu_count(),
         "serial_cold_seconds": round(serial_cold, 3),
-        "parallel_cold_seconds": round(parallel_cold, 3),
+        "parallel_cold_seconds": (round(parallel_cold, 3)
+                                  if parallel_cold is not None else None),
         "warm_cache_seconds": round(warm_cache, 3),
     }
+    if parallel_cold is None:
+        report["parallel_note"] = (
+            f"parallel sweep skipped: effective pool width {pool_width} < 2 "
+            f"(cpu_count={os.cpu_count()}); serial-vs-parallel comparison "
+            "requires a multi-core runner"
+        )
     if scale == 1.0:
         report["seed_serial_seconds"] = SEED_SWEEP_SECONDS
         report["speedup_serial_vs_seed"] = round(
             SEED_SWEEP_SECONDS / serial_cold, 2)
-        report["speedup_parallel_vs_seed"] = round(
-            SEED_SWEEP_SECONDS / parallel_cold, 2)
+        if parallel_cold is not None:
+            report["speedup_parallel_vs_seed"] = round(
+                SEED_SWEEP_SECONDS / parallel_cold, 2)
         report["speedup_warm_vs_seed"] = round(
             SEED_SWEEP_SECONDS / warm_cache, 2)
     return report
@@ -147,8 +176,9 @@ def check_determinism(scale: float = 0.25, seed: int = 0) -> dict[str, Any]:
         scheme=MULTI_T_MV_EAGER,
     )
     serial = SweepRunner(jobs=1, cache=None).run(job)
-    # Two distinct pending jobs force the process-pool path.
-    pooled = SweepRunner(jobs=2, cache=None).run_many([job, sibling])[0]
+    # Two distinct pending jobs + single-job chunks force the pool path.
+    pooled = SweepRunner(jobs=2, cache=None,
+                         chunk_size=1).run_many([job, sibling])[0]
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         cache = ResultCache(tmp)
         SweepRunner(jobs=1, cache=cache).run(job)
@@ -165,6 +195,59 @@ def check_determinism(scale: float = 0.25, seed: int = 0) -> dict[str, Any]:
     }
 
 
+def check_floor(engine_report: dict[str, Any],
+                floor: float = FLOOR_EVENTS_PER_SECOND) -> dict[str, Any]:
+    """Compare an engine-bench report against the committed perf floor."""
+    eps = engine_report["events_per_second"]
+    return {
+        "floor_events_per_second": round(floor, 1),
+        "measured_events_per_second": eps,
+        "passed": eps >= floor,
+    }
+
+
+#: Default destination of the :func:`profile_engine` listing.
+DEFAULT_PROFILE_PATH = Path("docs/report/profile.txt")
+
+
+def profile_engine(output: str | Path = DEFAULT_PROFILE_PATH,
+                   scale: float = 0.5, seed: int = 0,
+                   top: int = 30) -> str:
+    """Profile one representative cell under cProfile.
+
+    Runs Euler x MultiT&MV Eager AMM on CC-NUMA-16 (a mid-weight cell
+    exercising the multi-version hot paths) and writes the top ``top``
+    functions by cumulative time to ``output``. Returns the listing.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from repro.core.config import NUMA_16
+    from repro.core.engine import Simulation
+    from repro.core.taxonomy import MULTI_T_MV_EAGER
+    from repro.workloads.apps import APPLICATIONS
+
+    workload = APPLICATIONS["Euler"].generate(seed=seed, scale=scale)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = Simulation(NUMA_16, MULTI_T_MV_EAGER, workload).run()
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    listing = (
+        f"cProfile: Euler x MultiT&MV Eager AMM on CC-NUMA-16 "
+        f"(scale={scale}, seed={seed}); "
+        f"{result.events_processed:,} events; top {top} by cumulative time\n"
+        + buffer.getvalue()
+    )
+    path = Path(output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(listing)
+    return listing
+
+
 def run_bench(smoke: bool = False, jobs: int | None = None,
               seed: int = 0,
               output: str | Path | None = "BENCH_sweep.json",
@@ -174,14 +257,17 @@ def run_bench(smoke: bool = False, jobs: int | None = None,
     ``smoke=True`` shrinks the workloads (scale 0.1) so the whole run —
     engine bench, three sweeps, determinism probe — finishes in well
     under 30 seconds; the numbers are then only sanity checks, not
-    comparable to the seed baselines.
+    comparable to the seed baselines (the floor check still applies:
+    events/second is roughly scale-independent).
     """
     scale = 0.1 if smoke else 1.0
+    engine = run_engine_bench(scale=scale, seed=seed)
     report: dict[str, Any] = {
         "benchmark": "tls-buffering perf harness",
         "smoke": smoke,
         "cpu_count": os.cpu_count(),
-        "engine": run_engine_bench(scale=scale, seed=seed),
+        "engine": engine,
+        "floor": check_floor(engine),
         "sweep": run_sweep_bench(scale=scale, seed=seed, jobs=jobs),
         "determinism": check_determinism(
             scale=0.1 if smoke else 0.25, seed=seed),
@@ -207,16 +293,27 @@ def render_report(report: dict[str, Any]) -> str:
         + (f" ({engine['speedup_vs_seed']:.2f}x vs seed)"
            if "speedup_vs_seed" in engine else ""),
         f"  sweep  : serial cold {sweep['serial_cold_seconds']:7.2f}s | "
-        f"parallel({sweep['jobs']}) cold "
-        f"{sweep['parallel_cold_seconds']:7.2f}s | "
-        f"warm cache {sweep['warm_cache_seconds']:7.2f}s",
+        + (f"parallel(width {sweep.get('pool_width', sweep['jobs'])}) cold "
+           f"{sweep['parallel_cold_seconds']:7.2f}s | "
+           if sweep.get("parallel_cold_seconds") is not None
+           else "parallel skipped (pool width < 2) | ")
+        + f"warm cache {sweep['warm_cache_seconds']:7.2f}s",
     ]
     if "speedup_warm_vs_seed" in sweep:
+        parallel_part = (
+            f"parallel {sweep['speedup_parallel_vs_seed']:.2f}x, "
+            if "speedup_parallel_vs_seed" in sweep else "")
         lines.append(
             f"           vs seed {sweep['seed_serial_seconds']:.2f}s: "
             f"serial {sweep['speedup_serial_vs_seed']:.2f}x, "
-            f"parallel {sweep['speedup_parallel_vs_seed']:.2f}x, "
-            f"warm {sweep['speedup_warm_vs_seed']:.2f}x")
+            + parallel_part
+            + f"warm {sweep['speedup_warm_vs_seed']:.2f}x")
+    if "floor" in report:
+        floor = report["floor"]
+        lines.append(
+            f"  floor  : {floor['measured_events_per_second']:,.0f} ev/s vs "
+            f"committed floor {floor['floor_events_per_second']:,.0f} ev/s: "
+            + ("pass" if floor["passed"] else "FAIL (perf regression!)"))
     lines.append(
         "  determinism: "
         + ("bit-identical across serial/pool/cache-replay"

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk cache of simulation results.
+"""Content-addressed caches of simulation results (memory and disk tiers).
 
 Entries are keyed by the SHA-256 digest of the job's canonical identity
 (machine config + scheme + workload fingerprint + engine options +
@@ -6,9 +6,17 @@ Entries are keyed by the SHA-256 digest of the job's canonical identity
 serialization of the result, so a cache replay reconstructs the exact
 :class:`~repro.core.results.SimulationResult` the original run produced.
 
-Writes are atomic (temp file + ``os.replace``), so concurrent sweep
-workers and unrelated processes can share one cache directory safely;
-a corrupt or truncated entry is treated as a miss and overwritten.
+Two tiers:
+
+* :class:`MemoryResultCache` — a bounded in-process LRU of serialized
+  payload *bytes*. It stores bytes rather than decoded dicts because
+  payload deserialization (:func:`~repro.runner.runner.result_from_payload`)
+  mutates its input; handing every replay a fresh ``json.loads`` of the
+  stored bytes keeps hits side-effect-free and bit-identical.
+* :class:`ResultCache` — the on-disk tier. Writes are atomic (temp file +
+  ``os.replace``), so concurrent sweep workers and unrelated processes can
+  share one cache directory safely; a corrupt or truncated entry is
+  treated as a miss and overwritten.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
@@ -37,6 +46,68 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
+
+
+#: Default entry bound for the in-memory tier. A full paper sweep is a
+#: few hundred cells; payloads are tens of KB, so this stays modest.
+DEFAULT_MEMORY_ENTRIES = 256
+
+
+class MemoryResultCache:
+    """Bounded in-process LRU tier holding serialized payload bytes.
+
+    ``load``/``store`` speak ``bytes`` (compact JSON); the runner decodes
+    on every hit so no caller can mutate another caller's payload. A hit
+    refreshes recency; capacity overflow evicts the least recently used
+    entry and counts it in :attr:`stats.evictions <CacheStats.evictions>`.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MEMORY_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self.stats = CacheStats()
+
+    def load(self, key: str) -> bytes | None:
+        """The stored payload bytes for ``key`` (refreshes LRU recency)."""
+        raw = self._entries.get(key)
+        if raw is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return raw
+
+    def store(self, key: str, raw: bytes) -> None:
+        """Insert (or refresh) ``key``; evicts the LRU entry when full."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            entries[key] = raw
+            return
+        entries[key] = raw
+        self.stats.stores += 1
+        if len(entries) > self.max_entries:
+            entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+        removed = len(self._entries)
+        self._entries.clear()
+        return removed
+
+    def keys(self) -> list[str]:
+        """Resident keys, least recently used first."""
+        return list(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class ResultCache:
@@ -65,12 +136,23 @@ class ResultCache:
 
     def store(self, key: str, payload: dict[str, Any]) -> None:
         """Atomically persist ``payload`` under ``key``."""
+        self.store_raw(
+            key, json.dumps(payload, separators=(",", ":")).encode()
+        )
+
+    def store_raw(self, key: str, raw: bytes) -> None:
+        """Atomically persist already-serialized JSON ``raw`` under ``key``.
+
+        Zero-copy path for the sweep runner, whose workers ship payloads
+        as serialized bytes: the bytes land on disk without a decode /
+        re-encode round trip.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(raw)
             os.replace(tmp, path)
         except BaseException:
             try:

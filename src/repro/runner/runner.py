@@ -3,14 +3,25 @@
 :class:`SweepRunner` is the single funnel every experiment submits
 simulations through. It
 
-* consults the content-addressed :class:`~repro.runner.cache.ResultCache`
-  first, replaying prior runs of the same job instead of re-simulating;
+* consults a two-tier result cache — a bounded in-process
+  :class:`~repro.runner.cache.MemoryResultCache` LRU in front of the
+  content-addressed on-disk :class:`~repro.runner.cache.ResultCache` —
+  replaying prior runs of the same job instead of re-simulating;
+* deduplicates *in-flight* work: concurrent :meth:`SweepRunner.run_many`
+  callers (threads sharing one runner) that request the same cell share
+  a single computation instead of racing to repeat it;
 * fans cache misses out across a :class:`concurrent.futures.\
-ProcessPoolExecutor` (``jobs`` workers, default ``os.cpu_count()``), and
+ProcessPoolExecutor` (``jobs`` workers, default ``os.cpu_count()``) in
+  *chunks* of several jobs per task, so per-task pickling and IPC
+  overhead is amortized; small batches (or ``jobs=1``) skip pool
+  startup entirely and run serially;
+* ships worker results back as zlib-compressed JSON bytes (one compact
+  buffer per job instead of a pickled object graph), and
 * reconstructs every pooled or replayed result through the same full
   JSON serialization, so a result is bit-identical (see
   :func:`~repro.analysis.serialization.canonical_result_bytes`) whether
-  it was computed serially, in a worker process, or read back from disk.
+  it was computed serially, in a worker process, replayed from the
+  memory tier, or read back from disk.
 
 Determinism: a job fully determines its simulation — workload generation
 is seeded, and the engine itself is sequential per run — so the
@@ -19,14 +30,17 @@ execution mode can never change a result, only how fast it arrives.
 
 from __future__ import annotations
 
+import json
 import os
-from concurrent.futures import ProcessPoolExecutor
+import threading
+import zlib
+from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Sequence
 
 from repro.baselines.sequential import SequentialResult, simulate_sequential
 from repro.core.engine import Simulation
 from repro.core.results import SimulationResult
-from repro.runner.cache import ResultCache
+from repro.runner.cache import MemoryResultCache, ResultCache
 from repro.runner.jobs import SimJob
 
 
@@ -115,9 +129,28 @@ def result_from_payload(
     return result
 
 
-def _worker(job: SimJob) -> tuple[str, dict[str, Any]]:
-    """Pool entry point: execute and return (cache key, payload)."""
-    return job.cache_key(), payload_from_result(execute_job(job))
+def _encode_payload(payload: dict[str, Any]) -> bytes:
+    """Serialize a payload to the compact JSON bytes the tiers store."""
+    return json.dumps(payload, separators=(",", ":")).encode()
+
+
+def _worker_chunk(jobs: Sequence[SimJob]) -> list[tuple[str, bytes]]:
+    """Pool entry point: execute a chunk of jobs in one task.
+
+    Returns ``(cache key, zlib-compressed JSON payload)`` per job: one
+    compact buffer crosses the process boundary instead of a pickled
+    result-object graph, and the chunking amortizes task dispatch
+    overhead across several simulations.
+    """
+    return [
+        (
+            job.cache_key(),
+            zlib.compress(
+                _encode_payload(payload_from_result(execute_job(job))), 1
+            ),
+        )
+        for job in jobs
+    ]
 
 
 def default_jobs() -> int:
@@ -125,15 +158,31 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+#: Jobs per pool task. Large enough to amortize pickling/IPC per task,
+#: small enough to keep the pool load-balanced on uneven cell runtimes.
+DEFAULT_CHUNK_SIZE = 4
+
+
 class SweepRunner:
     """Cache-backed, optionally parallel executor of simulation jobs."""
 
     def __init__(self, jobs: int | None = None,
-                 cache: ResultCache | None = None) -> None:
+                 cache: ResultCache | None = None,
+                 memory_cache: MemoryResultCache | None = None,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
         self.jobs = jobs if jobs is not None else default_jobs()
         if self.jobs < 1:
             self.jobs = 1
+        if chunk_size < 1:
+            chunk_size = 1
         self.cache = cache
+        self.memory_cache = (memory_cache if memory_cache is not None
+                             else MemoryResultCache())
+        self.chunk_size = chunk_size
+        #: cache key -> Future[bytes] of a computation another run_many
+        #: call already owns; guarded by ``_inflight_lock``.
+        self._inflight: dict[str, Future[bytes]] = {}
+        self._inflight_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def run(self, job: SimJob) -> SimulationResult | SequentialResult:
@@ -145,15 +194,20 @@ class SweepRunner:
     ) -> list[SimulationResult | SequentialResult]:
         """Execute a batch of jobs, returning results in input order.
 
-        Duplicate jobs (same cache key) are computed once. Cache hits are
-        replayed from disk; misses run in a process pool when more than
-        one distinct job is pending and ``jobs > 1``, else serially in
-        this process. Every freshly computed result is stored back to the
-        cache (when one is configured).
+        Duplicate jobs (same cache key) are computed once — including
+        across *concurrent* ``run_many`` calls on this runner, which
+        share in-flight computations instead of repeating them. Lookup
+        order per distinct job: memory tier, then disk tier (promoting
+        hits into the memory tier), then live computation. Misses run in
+        a chunked process pool when the batch is larger than one chunk
+        and ``jobs > 1``, else serially in this process. Every freshly
+        computed result is stored back through both tiers.
         """
         by_key: dict[str, SimulationResult | SequentialResult] = {}
         keys = [job.cache_key() for job in jobs]
         pending: list[tuple[str, SimJob]] = []
+        owned: dict[str, Future[bytes]] = {}
+        waiting: dict[str, Future[bytes]] = {}
         seen: set[str] = set()
         for key, job in zip(keys, jobs):
             if key in seen:
@@ -161,37 +215,84 @@ class SweepRunner:
             seen.add(key)
             if job.traced:
                 # A trace recorder lives only in this process: traced jobs
-                # run live and bypass the cache in both directions.
+                # run live and bypass every cache tier in both directions.
                 by_key[key] = execute_job(job)
+                continue
+            raw = self.memory_cache.load(key)
+            if raw is not None:
+                by_key[key] = result_from_payload(json.loads(raw))
                 continue
             payload = self.cache.load(key) if self.cache is not None else None
             if payload is not None:
+                self.memory_cache.store(key, _encode_payload(payload))
                 by_key[key] = result_from_payload(payload)
-            else:
-                pending.append((key, job))
+                continue
+            with self._inflight_lock:
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = Future()
+                    self._inflight[key] = flight
+                    owned[key] = flight
+                    pending.append((key, job))
+                else:
+                    waiting[key] = flight
 
         if pending:
-            for key, payload in self._compute(pending):
-                if self.cache is not None:
-                    self.cache.store(key, payload)
-                    self.cache.stats.stores += 1
-                by_key[key] = result_from_payload(payload)
+            try:
+                for key, raw in self._compute(pending):
+                    self.memory_cache.store(key, raw)
+                    if self.cache is not None:
+                        self.cache.store_raw(key, raw)
+                        self.cache.stats.stores += 1
+                    by_key[key] = result_from_payload(json.loads(raw))
+                    owned[key].set_result(raw)
+            finally:
+                with self._inflight_lock:
+                    for key, flight in owned.items():
+                        if self._inflight.get(key) is flight:
+                            del self._inflight[key]
+                        if not flight.done():
+                            # _compute raised before reaching this key:
+                            # propagate the failure to any waiters.
+                            flight.set_exception(
+                                RuntimeError(f"computation of {key} aborted")
+                            )
+
+        for key, flight in waiting.items():
+            by_key[key] = result_from_payload(json.loads(flight.result()))
 
         return [by_key[key] for key in keys]
 
     # ------------------------------------------------------------------
     def _compute(
         self, pending: list[tuple[str, SimJob]],
-    ) -> list[tuple[str, dict[str, Any]]]:
-        if self.jobs > 1 and len(pending) > 1:
+    ) -> list[tuple[str, bytes]]:
+        """Execute the cache misses, returning (key, payload bytes) pairs.
+
+        Serial fallback (no pool startup) when one worker is configured
+        or the batch fits in a single dispatch chunk.
+        """
+        if self.jobs > 1 and len(pending) > self.chunk_size:
+            chunk_size = self.chunk_size
+            job_list = [job for _key, job in pending]
+            chunks = [job_list[i:i + chunk_size]
+                      for i in range(0, len(job_list), chunk_size)]
             try:
                 with ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(pending))
+                    max_workers=min(self.jobs, len(chunks))
                 ) as pool:
-                    return list(pool.map(_worker, [j for _k, j in pending]))
+                    compressed = [
+                        pair
+                        for chunk_result in pool.map(_worker_chunk, chunks)
+                        for pair in chunk_result
+                    ]
+                return [(key, zlib.decompress(raw))
+                        for key, raw in compressed]
             except (OSError, ImportError):
                 # Pool creation can fail in constrained sandboxes
                 # (no /dev/shm, fork limits); fall back to serial.
                 pass
-        return [(key, payload_from_result(execute_job(job)))
-                for key, job in pending]
+        return [
+            (key, _encode_payload(payload_from_result(execute_job(job))))
+            for key, job in pending
+        ]

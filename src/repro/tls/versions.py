@@ -11,25 +11,25 @@ Violation rule (matching the paper's base protocol, from Prvulovic01):
 squashes are triggered only by an out-of-order RAW on the same word — a
 write by task T squashes reader U > T if U consumed a version older than T.
 Word granularity means false sharing within a line never squashes.
+
+Storage layout (engine-core v2): per-word state is interned into two flat
+parallel maps — ``word -> sorted producer list`` and ``word -> {reader:
+oldest version seen}`` — instead of one dict of per-word record objects.
+The hot protocol operations (:meth:`version_for_read`,
+:meth:`record_read`, :meth:`record_write`,
+:meth:`latest_version_at_most`) run several times per simulated memory
+op; dropping the record-object indirection removes an allocation and an
+attribute load from each of them.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right, insort
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.errors import ProtocolError
 from repro.memsys.cache import ARCH_TASK_ID
 
-
-@dataclass(slots=True)
-class _WordState:
-    """Versions and speculative readers of one word."""
-
-    #: Sorted producer task IDs that currently have a version of this word.
-    producers: list[int] = field(default_factory=list)
-    #: reader task ID -> oldest producer ID that reader consumed.
-    readers: dict[int, int] = field(default_factory=dict)
+_EMPTY: dict = {}
 
 
 @dataclass
@@ -45,15 +45,11 @@ class VersionDirectory:
     """System-wide word-granularity version order and reader tracking."""
 
     def __init__(self) -> None:
-        self._words: dict[int, _WordState] = {}
+        #: word -> sorted producer task IDs with a live version of it.
+        self._producers: dict[int, list[int]] = {}
+        #: word -> {reader task ID: oldest producer ID that reader consumed}.
+        self._readers: dict[int, dict[int, int]] = {}
         self.stats = DirectoryStats()
-
-    def _state(self, word_addr: int) -> _WordState:
-        state = self._words.get(word_addr)
-        if state is None:
-            state = _WordState()
-            self._words[word_addr] = state
-        return state
 
     # ------------------------------------------------------------------
     # Reads
@@ -66,13 +62,13 @@ class VersionDirectory:
         Returns :data:`ARCH_TASK_ID` if no speculative version precedes the
         reader.
         """
-        state = self._words.get(word_addr)
-        if state is None or not state.producers:
+        producers = self._producers.get(word_addr)
+        if not producers:
             return ARCH_TASK_ID
-        idx = bisect_right(state.producers, reader)
+        idx = bisect_right(producers, reader)
         if idx == 0:
             return ARCH_TASK_ID
-        return state.producers[idx - 1]
+        return producers[idx - 1]
 
     def record_read(self, word_addr: int, reader: int, version_seen: int) -> None:
         """Note that ``reader`` consumed ``version_seen`` of ``word_addr``.
@@ -86,11 +82,10 @@ class VersionDirectory:
             return
         if version_seen != ARCH_TASK_ID:
             self.stats.forwarded_reads += 1
-        state = self._words.get(word_addr)
-        if state is None:
-            state = _WordState()
-            self._words[word_addr] = state
-        readers = state.readers
+        readers = self._readers.get(word_addr)
+        if readers is None:
+            self._readers[word_addr] = {reader: version_seen}
+            return
         previous = readers.get(reader)
         if previous is None or version_seen < previous:
             readers[reader] = version_seen
@@ -106,17 +101,16 @@ class VersionDirectory:
         earliest violated reader and its successors.
         """
         self.stats.writes += 1
-        state = self._words.get(word_addr)
-        if state is None:
-            state = _WordState()
-            self._words[word_addr] = state
-        producers = state.producers
-        idx = bisect_right(producers, producer)
-        if idx == 0 or producers[idx - 1] != producer:
-            insort(producers, producer)
-        # Inline violated_readers: the state is already in hand, so the
-        # hot path does a single dict lookup per write.
-        readers = state.readers
+        producers = self._producers.get(word_addr)
+        if producers is None:
+            self._producers[word_addr] = [producer]
+        else:
+            idx = bisect_right(producers, producer)
+            if idx == 0 or producers[idx - 1] != producer:
+                insort(producers, producer)
+        # Inline violated_readers: the reader map is already in hand, so
+        # the hot path does a single dict lookup per write.
+        readers = self._readers.get(word_addr)
         if not readers:
             return []
         violated = sorted(
@@ -135,12 +129,12 @@ class VersionDirectory:
         detection mode uses it to find false-sharing victims on the other
         words of the written line.
         """
-        state = self._words.get(word_addr)
-        if state is None or not state.readers:
+        readers = self._readers.get(word_addr)
+        if not readers:
             return []
         return sorted(
             reader
-            for reader, seen in state.readers.items()
+            for reader, seen in readers.items()
             if reader > producer and seen < producer
         )
 
@@ -155,16 +149,18 @@ class VersionDirectory:
         touched (the engine tracks them per attempt), so the purge is
         targeted rather than a full directory sweep.
         """
+        all_producers = self._producers
         for word in written:
-            state = self._words.get(word)
-            if state is not None and state.producers:
-                idx = bisect_right(state.producers, task_id)
-                if idx and state.producers[idx - 1] == task_id:
-                    state.producers.pop(idx - 1)
+            producers = all_producers.get(word)
+            if producers:
+                idx = bisect_right(producers, task_id)
+                if idx and producers[idx - 1] == task_id:
+                    producers.pop(idx - 1)
+        all_readers = self._readers
         for word in read:
-            state = self._words.get(word)
-            if state is not None:
-                state.readers.pop(task_id, None)
+            readers = all_readers.get(word)
+            if readers is not None:
+                readers.pop(task_id, None)
 
     def purge_tasks(self, task_ids: set[int]) -> None:
         """Full-sweep removal of versions and reads of ``task_ids``.
@@ -172,24 +168,25 @@ class VersionDirectory:
         Slower than :meth:`purge_task`; kept for hand-driven protocol tests
         that do not track per-attempt word sets.
         """
-        for state in self._words.values():
-            if state.producers:
-                state.producers = [p for p in state.producers
-                                   if p not in task_ids]
-            if state.readers:
-                for tid in task_ids.intersection(state.readers):
-                    del state.readers[tid]
+        for word, producers in self._producers.items():
+            if producers:
+                self._producers[word] = [p for p in producers
+                                         if p not in task_ids]
+        for readers in self._readers.values():
+            for tid in task_ids.intersection(readers):
+                del readers[tid]
 
     def forget_reader(self, task_id: int, read: set[int] | None = None) -> None:
         """Drop reader records of a committed task (it can't be violated)."""
+        all_readers = self._readers
         if read is not None:
             for word in read:
-                state = self._words.get(word)
-                if state is not None:
-                    state.readers.pop(task_id, None)
+                readers = all_readers.get(word)
+                if readers is not None:
+                    readers.pop(task_id, None)
             return
-        for state in self._words.values():
-            state.readers.pop(task_id, None)
+        for readers in all_readers.values():
+            readers.pop(task_id, None)
 
     # ------------------------------------------------------------------
     # Introspection (used by write-back payload building and invariants)
@@ -199,23 +196,30 @@ class VersionDirectory:
 
         The yielded lists/dicts are the live internal structures (no
         copies); callers — the invariant checker sweeps them after every
-        engine event — must treat them as read-only.
+        engine event — must treat them as read-only. Words with reader
+        records but no live version yield an empty producer list, and
+        vice versa.
         """
-        for word, state in self._words.items():
-            yield word, state.producers, state.readers
+        all_readers = self._readers
+        for word, producers in self._producers.items():
+            yield word, producers, all_readers.get(word, _EMPTY)
+        all_producers = self._producers
+        for word, readers in all_readers.items():
+            if word not in all_producers:
+                yield word, [], readers
 
     def producers_of(self, word_addr: int) -> list[int]:
         """Task IDs with a live version of ``word_addr``, in order."""
-        state = self._words.get(word_addr)
-        return list(state.producers) if state else []
+        producers = self._producers.get(word_addr)
+        return list(producers) if producers else []
 
     def latest_version_at_most(self, word_addr: int, bound: int) -> int:
         """Latest producer <= ``bound`` for ``word_addr`` (ARCH if none)."""
-        state = self._words.get(word_addr)
-        if state is None or not state.producers:
+        producers = self._producers.get(word_addr)
+        if not producers:
             return ARCH_TASK_ID
-        idx = bisect_right(state.producers, bound)
-        return state.producers[idx - 1] if idx else ARCH_TASK_ID
+        idx = bisect_right(producers, bound)
+        return producers[idx - 1] if idx else ARCH_TASK_ID
 
     def latest_version_below(self, word_addr: int, bound: int) -> int:
         """Latest producer strictly < ``bound`` (ARCH if none).
@@ -228,11 +232,11 @@ class VersionDirectory:
 
     def has_version(self, word_addr: int, producer: int) -> bool:
         """True when ``producer`` holds a live version of ``word_addr``."""
-        state = self._words.get(word_addr)
-        if state is None:
+        producers = self._producers.get(word_addr)
+        if not producers:
             return False
-        idx = bisect_right(state.producers, producer)
-        return idx > 0 and state.producers[idx - 1] == producer
+        idx = bisect_right(producers, producer)
+        return idx > 0 and producers[idx - 1] == producer
 
     def final_image(self) -> dict[int, int]:
         """word -> last producer, assuming every remaining task committed.
@@ -242,11 +246,11 @@ class VersionDirectory:
         main-memory image.
         """
         return {
-            word: state.producers[-1]
-            for word, state in self._words.items()
-            if state.producers
+            word: producers[-1]
+            for word, producers in self._producers.items()
+            if producers
         }
 
     def words_written(self) -> set[int]:
         """Every word address with at least one recorded version."""
-        return {w for w, s in self._words.items() if s.producers}
+        return {w for w, producers in self._producers.items() if producers}

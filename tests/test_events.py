@@ -1,0 +1,104 @@
+"""Property tests for the calendar-bucket event queue.
+
+The engine's ordering contract: :class:`repro.core.events.BucketQueue`
+must return items in exactly the order ``heapq`` would — ascending
+``(when, seq)`` — for any interleaving of pushes and pops, including
+same-time events, same-bucket collisions, and pushes issued while the
+queue is partially drained (the engine pushes from inside event
+callbacks). Any divergence would silently reorder simulated events and
+break bit-identity.
+"""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import DEFAULT_BUCKET_WIDTH, BucketQueue
+
+#: Times spanning many buckets, bucket boundaries, sub-bucket clusters,
+#: and exact collisions at the default width of 64.0.
+TIMES = st.one_of(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False,
+              allow_infinity=False),
+    st.sampled_from([0.0, 63.999, 64.0, 64.001, 128.0, 128.0, 500.5]),
+)
+
+#: A script is a sequence of push times interleaved with pops (None).
+SCRIPTS = st.lists(st.one_of(TIMES, st.none()), min_size=0, max_size=200)
+
+
+def _run_script(script, width=DEFAULT_BUCKET_WIDTH):
+    """Drive a BucketQueue and a heapq list in lock-step."""
+    queue = BucketQueue(width)
+    heap = []
+    seq = 0
+    popped = []
+    for step in script:
+        if step is None:
+            if not heap:
+                continue
+            expected = heapq.heappop(heap)
+            got = queue.pop()
+            assert got == expected
+            popped.append(got)
+        else:
+            seq += 1
+            item = (step, seq, None, ())
+            queue.push(item)
+            heapq.heappush(heap, item)
+        assert len(queue) == len(heap)
+        assert bool(queue) == bool(heap)
+        if heap:
+            assert queue.peek_time() == heap[0][0]
+    # Drain the remainder: full order must match.
+    while heap:
+        assert queue.pop() == heapq.heappop(heap)
+    assert not queue
+    return popped
+
+
+@settings(max_examples=200, deadline=None)
+@given(SCRIPTS)
+def test_bucket_queue_matches_heapq_order(script):
+    _run_script(script)
+
+
+@settings(max_examples=50, deadline=None)
+@given(SCRIPTS, st.sampled_from([0.5, 1.0, 64.0, 1e6]))
+def test_bucket_queue_matches_heapq_for_any_width(script, width):
+    _run_script(script, width=width)
+
+
+def test_same_time_events_pop_in_push_order():
+    queue = BucketQueue()
+    items = [(10.0, seq, None, ()) for seq in range(5)]
+    for item in reversed(items):
+        queue.push(item)
+    assert [queue.pop() for _ in items] == items
+
+
+def test_push_during_drain_lands_in_already_popped_bucket_region():
+    # The engine may schedule an event into the *current* bucket while
+    # draining it; the queue must still serve strict (when, seq) order.
+    queue = BucketQueue(64.0)
+    queue.push((10.0, 1, None, ()))
+    queue.push((70.0, 2, None, ()))
+    assert queue.pop() == (10.0, 1, None, ())
+    queue.push((20.0, 3, None, ()))  # into the now-empty first bucket
+    assert queue.pop() == (20.0, 3, None, ())
+    assert queue.pop() == (70.0, 2, None, ())
+    assert len(queue) == 0
+
+
+def test_empty_queue_raises_and_width_validated():
+    queue = BucketQueue()
+    with pytest.raises(IndexError):
+        queue.pop()
+    with pytest.raises(IndexError):
+        queue.peek_time()
+    with pytest.raises(ValueError):
+        BucketQueue(0.0)
+    with pytest.raises(ValueError):
+        BucketQueue(-1.0)

@@ -1,13 +1,18 @@
 """Sweep runner + result cache: determinism, dedup, content addressing.
 
 The contract under test (see ``repro.runner.runner``): the execution
-mode — serial in-process, fanned out over a process pool, or replayed
-from the on-disk cache — can never change a result. ``canonical_result_
-bytes`` (the full serialization minus the host-measured wall clock) is
-the equality we hold all modes to, bit for bit.
+mode — serial in-process, fanned out over a chunked process pool,
+replayed from the in-memory LRU tier or the on-disk cache, or shared
+with a concurrent in-flight computation — can never change a result.
+``canonical_result_bytes`` (the full serialization minus the
+host-measured wall clock) is the equality we hold all modes to, bit
+for bit.
 """
 
 import json
+import threading
+import time
+from collections import Counter
 
 import pytest
 
@@ -17,10 +22,12 @@ from repro.core.config import CMP_8, NUMA_16, NUMA_16_BIG_L2
 from repro.core.results import SimulationResult
 from repro.core.taxonomy import (
     MULTI_T_MV_EAGER,
+    MULTI_T_MV_FMM,
     MULTI_T_MV_LAZY,
     SINGLE_T_EAGER,
 )
 from repro.runner import (
+    MemoryResultCache,
     ResultCache,
     SimJob,
     SweepRunner,
@@ -111,8 +118,11 @@ def test_serial_pool_and_cache_replay_are_bit_identical(tmp_path):
     sibling = _job(scheme=MULTI_T_MV_EAGER)
 
     serial = SweepRunner(jobs=1, cache=None).run(job)
-    # Two pending jobs + jobs>1 forces the ProcessPoolExecutor path.
-    pooled = SweepRunner(jobs=2, cache=None).run_many([job, sibling])[0]
+    # Two pending jobs + jobs>1 + single-job chunks forces the
+    # ProcessPoolExecutor path (larger chunk sizes would fall back to
+    # serial for a batch this small).
+    pooled = SweepRunner(jobs=2, cache=None,
+                         chunk_size=1).run_many([job, sibling])[0]
 
     cache = ResultCache(tmp_path / "cache")
     SweepRunner(jobs=1, cache=cache).run(job)  # populate
@@ -163,7 +173,8 @@ def test_sequential_baseline_round_trips_through_pool_and_cache(tmp_path):
     serial = execute_job(job)
     assert isinstance(serial, SequentialResult)
 
-    pooled = SweepRunner(jobs=2, cache=None).run_many([job, other])[0]
+    pooled = SweepRunner(jobs=2, cache=None,
+                         chunk_size=1).run_many([job, other])[0]
     cache = ResultCache(tmp_path)
     SweepRunner(jobs=1, cache=cache).run(job)
     replayed = SweepRunner(jobs=1, cache=cache).run(job)
@@ -242,3 +253,150 @@ def test_experiment_context_no_cache_mode(tmp_path, monkeypatch):
     result = ctx.run(NUMA_16, MULTI_T_MV_LAZY, "Euler")
     assert result.total_cycles > 0
     assert not (tmp_path / ".repro-cache").exists()
+
+
+# ----------------------------------------------------------------------
+# Memory tier (LRU)
+# ----------------------------------------------------------------------
+def test_memory_cache_lru_eviction_order():
+    tier = MemoryResultCache(max_entries=3)
+    for key in ("a", "b", "c"):
+        tier.store(key, key.encode())
+    # Touch "a": it becomes most recent, so "b" is now the LRU victim.
+    assert tier.load("a") == b"a"
+    tier.store("d", b"d")
+    assert "b" not in tier
+    assert tier.keys() == ["c", "a", "d"]
+    assert tier.stats.evictions == 1
+    # Another insert evicts "c" next.
+    tier.store("e", b"e")
+    assert "c" not in tier
+    assert "a" in tier
+    assert tier.stats.evictions == 2
+    assert tier.load("missing") is None
+    assert tier.stats.misses == 1
+
+
+def test_memory_cache_refresh_does_not_evict():
+    tier = MemoryResultCache(max_entries=2)
+    tier.store("a", b"1")
+    tier.store("b", b"2")
+    tier.store("a", b"3")  # overwrite refreshes, never evicts
+    assert len(tier) == 2
+    assert tier.stats.evictions == 0
+    assert tier.load("a") == b"3"
+    assert tier.stats.stores == 2  # overwrite is not a new store
+    with pytest.raises(ValueError):
+        MemoryResultCache(max_entries=0)
+
+
+def test_memory_disk_and_live_tiers_are_bit_identical(tmp_path):
+    cache = ResultCache(tmp_path)
+    runner = SweepRunner(jobs=1, cache=cache)
+    job = _job()
+    live = runner.run(job)  # live computation, stored through both tiers
+    assert job.cache_key() in runner.memory_cache
+
+    hits_before = runner.memory_cache.stats.hits
+    from_memory = runner.run(job)  # memory-tier hit, disk untouched
+    assert runner.memory_cache.stats.hits == hits_before + 1
+    disk_hits_before = cache.stats.hits
+
+    fresh = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+    from_disk = fresh.run(job)  # disk-tier replay (fresh memory tier)
+    assert fresh.cache.stats.hits == 1
+    assert cache.stats.hits == disk_hits_before
+    # The disk hit was promoted into the fresh runner's memory tier.
+    assert job.cache_key() in fresh.memory_cache
+
+    reference = canonical_result_bytes(live)
+    assert canonical_result_bytes(from_memory) == reference
+    assert canonical_result_bytes(from_disk) == reference
+
+
+def test_memory_tier_hit_returns_independent_results():
+    # The tier stores serialized bytes, so two replays of the same cell
+    # must not share mutable state (metrics deserialization pops keys).
+    runner = SweepRunner(jobs=1, cache=None)
+    job = _job()
+    first = runner.run(job)
+    second = runner.run(job)
+    assert first is not second
+    assert canonical_result_bytes(first) == canonical_result_bytes(second)
+
+
+# ----------------------------------------------------------------------
+# In-flight dedup and dispatch policy
+# ----------------------------------------------------------------------
+def test_concurrent_run_many_computes_each_cell_once(monkeypatch):
+    import repro.runner.runner as runner_mod
+
+    counts = Counter()
+    count_lock = threading.Lock()
+    real_execute = runner_mod.execute_job
+
+    def counting_execute(job):
+        with count_lock:
+            counts[job.cache_key()] += 1
+        time.sleep(0.05)  # widen the in-flight window
+        return real_execute(job)
+
+    monkeypatch.setattr(runner_mod, "execute_job", counting_execute)
+    runner = SweepRunner(jobs=1, cache=None)
+    batch = [_job(), _job(scheme=MULTI_T_MV_EAGER)]
+    barrier = threading.Barrier(2)
+    results = [None, None]
+    errors = []
+
+    def call(slot):
+        try:
+            barrier.wait()
+            results[slot] = runner.run_many(batch)
+        except BaseException as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    threads = [threading.Thread(target=call, args=(i,)) for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    # Each distinct cell was simulated exactly once across both callers
+    # (the second caller joined the first's in-flight computation or hit
+    # the shared memory tier).
+    assert len(counts) == 2
+    assert all(n == 1 for n in counts.values())
+    for a, b in zip(results[0], results[1]):
+        assert canonical_result_bytes(a) == canonical_result_bytes(b)
+
+
+def test_small_batches_skip_pool_startup(monkeypatch):
+    import repro.runner.runner as runner_mod
+
+    class ExplodingPool:
+        def __init__(self, *args, **kwargs):
+            raise AssertionError("pool started for a batch below one chunk")
+
+    monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", ExplodingPool)
+    # jobs=1 always stays serial, whatever the batch size.
+    runner = SweepRunner(jobs=1, cache=None)
+    assert runner.run(_job()) is not None
+    # jobs>1 with a batch no larger than one chunk stays serial too.
+    runner = SweepRunner(jobs=4, cache=None, chunk_size=4)
+    batch = [_job(), _job(scheme=MULTI_T_MV_EAGER),
+             _job(scheme=SINGLE_T_EAGER)]
+    results = runner.run_many(batch)
+    assert len(results) == 3
+
+
+def test_chunked_pool_dispatch_is_bit_identical_to_serial(tmp_path):
+    batch = [
+        _job(scheme=scheme, app=app)
+        for scheme in (MULTI_T_MV_LAZY, MULTI_T_MV_EAGER, MULTI_T_MV_FMM)
+        for app in ("Euler", "Apsi")
+    ]
+    serial = SweepRunner(jobs=1, cache=None).run_many(batch)
+    # Six distinct cells in chunks of two across two workers.
+    pooled = SweepRunner(jobs=2, cache=None, chunk_size=2).run_many(batch)
+    for a, b in zip(serial, pooled):
+        assert canonical_result_bytes(a) == canonical_result_bytes(b)
