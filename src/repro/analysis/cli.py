@@ -156,7 +156,8 @@ def _run_bench(args: argparse.Namespace) -> int:
         print(f"profile written to {args.profile_output}")
         return 0
     report = run_bench(smoke=args.smoke, jobs=args.jobs, seed=args.seed,
-                       output=args.bench_output)
+                       output=args.bench_output,
+                       kernel_compare=args.compare_kernel)
     print(render_report(report))
     if not report["determinism"]["bit_identical"]:
         print("FAIL: results differ across serial/pool/cache-replay",
@@ -164,6 +165,11 @@ def _run_bench(args: argparse.Namespace) -> int:
         return 1
     if args.check_floor and not report["floor"]["passed"]:
         print("FAIL: engine throughput below the committed perf floor",
+              file=sys.stderr)
+        return 1
+    if (args.compare_kernel
+            and not report["kernel_compare"]["byte_identical"]):
+        print("FAIL: kernel and reference drain loops diverged",
               file=sys.stderr)
         return 1
     return 0
@@ -398,6 +404,10 @@ examples:
     p_bench.add_argument("--check-floor", action="store_true",
                          help="exit non-zero if engine events/sec falls "
                               "below the committed regression floor")
+    p_bench.add_argument("--compare-kernel", action="store_true",
+                         help="also A/B the REPRO_TLS_KERNEL drain loop "
+                              "against the reference loop (byte-identity "
+                              "gate)")
     p_bench.add_argument("--profile", action="store_true",
                          help="skip the bench; cProfile one representative "
                               "cell and write the top-30 cumulative listing")

@@ -1,0 +1,240 @@
+"""Opt-in batch-drain kernel for the simulation engine (engine-core v3).
+
+This module holds the engine's hottest code path — the batched event
+drain of :meth:`repro.core.engine.Simulation._drain_events` — factored
+into a free function over a ``Simulation`` instance, selected at run
+time by the ``REPRO_TLS_KERNEL`` environment switch (see
+:data:`repro.core.engine.KERNEL_ENV`).
+
+The function mirrors the in-class reference loop statement for
+statement; both must stay in lock-step, and CI runs the golden corpus
+on both legs to assert byte-identical results. Keeping the loop in a
+self-contained module makes it compilable ahead of time with mypyc::
+
+    python -m pip install mypy
+    python -m mypyc src/repro/core/_kernel.py
+
+which drops a compiled extension next to this file that Python's import
+machinery then prefers. Everything the loop touches is either a plain
+container (list, dict, bytearray, tuple), a float/int, or an opaque
+object whose attributes are accessed dynamically, so the module stays
+inside the mypyc-supported subset. When no compiled extension is
+present the plain Python source runs — still a valid A/B leg for the
+byte-equality check, just not a faster one
+(:func:`repro.core.engine.kernel_info` reports which variant loaded).
+
+Simulated behaviour is identical either way by construction: the loop
+performs exactly the same mutations in exactly the same order as the
+reference, so enabling the kernel requires no ENGINE_VERSION bump.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.memsys.address import WORDS_PER_LINE
+from repro.memsys.cache import ARCH_TASK_ID, KEY_SHIFT
+from repro.tls.task import STEP_BUSY, STEP_READ, STEP_WRITE
+
+_LINE_SHIFT: int = WORDS_PER_LINE.bit_length() - 1
+_KEY_SHIFT: int = KEY_SHIFT
+
+
+def drain(sim: Any) -> None:
+    """Drain ``sim``'s event queue to completion (no hook attached).
+
+    Mirror of ``Simulation._drain_events`` — see that method for the
+    batching and fast-path rationale, and keep the two bodies in sync.
+    """
+    # Bind everything the loop touches to locals once.
+    events = sim._events
+    pop_batch = events.pop_batch
+    push = events.push
+    max_events = sim.max_events
+    processed = sim._events_processed
+    procs = sim.procs
+    directory = sim.directory
+    dir_rows = directory._row
+    dir_producers = directory._producers
+    dir_readers = directory._readers
+    dir_words = directory._words
+    dstats = directory.stats
+    l1_keys = [p.l1._key_slot for p in procs]
+    l1_touch = [p.l1._touch for p in procs]
+    l1_dirty = [p.l1._dirty for p in procs]
+    l1_stats = [p.l1.stats for p in procs]
+    accounts = [p.account._cycles for p in procs]
+    inflight_start = sim._inflight_start
+    inflight_busy = sim._inflight_busy
+    inflight_mem = sim._inflight_mem
+    inflight_live = sim._inflight_live
+    lat_l1 = sim._lat_l1f
+    is_sv = sim._is_sv
+    fast_rw = not sim._line_gran
+    try:
+        while not sim._finished:
+            if not events:
+                raise SimulationError(
+                    f"event queue empty before completion "
+                    f"(committed {sim.commit.next_to_commit}/"
+                    f"{sim.commit.n_tasks})"
+                )
+            batch = pop_batch()
+            when = batch[0][0]
+            sim.now = when
+            for event in batch:
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"exceeded {sim.max_events} events; "
+                        f"likely livelock"
+                    )
+                fn = event[2]
+                if fn is not None:
+                    fn(*event[3], when)
+                    if sim._finished:
+                        break
+                    continue
+                # ---- op completion (inlined _op_done) ----
+                proc, epoch, run, attempt, busy, mem = event[3]
+                if proc.epoch != epoch or run.attempt != attempt:
+                    continue  # aborted by a squash
+                pid = proc.proc_id
+                inflight_live[pid] = False
+                account = accounts[pid]
+                account[0] += busy   # CycleCategory.BUSY
+                account[1] += mem    # CycleCategory.MEMORY
+                run.attempt_busy += busy
+                # ---- advance (inlined) ----
+                kinds = run.step_kind
+                i = run.op_index
+                if i == len(kinds):
+                    sim._task_done(proc, run, when)
+                    if sim._finished:
+                        break
+                    continue
+                kind = kinds[i]
+                if kind == STEP_BUSY:
+                    step_busy = run.step_busy[i]
+                    run.op_index = i + 1
+                    inflight_start[pid] = when
+                    inflight_busy[pid] = step_busy
+                    inflight_mem[pid] = 0.0
+                    inflight_live[pid] = True
+                    seq = sim._seq + 1
+                    sim._seq = seq
+                    push((when + step_busy, seq, None,
+                          (proc, epoch, run, attempt, step_busy, 0.0)))
+                    continue
+                if fast_rw:
+                    word = run.step_word[i]
+                    tid = run.spec.task_id
+                    if kind == STEP_READ:
+                        # version_for_read against the interned rows.
+                        row = dir_rows.get(word)
+                        if row is None:
+                            producer = ARCH_TASK_ID
+                        else:
+                            producers = dir_producers[row]
+                            idx = (bisect_right(producers, tid)
+                                   if producers else 0)
+                            producer = (producers[idx - 1] if idx
+                                        else ARCH_TASK_ID)
+                        line = word >> _LINE_SHIFT
+                        slot = l1_keys[pid].get(
+                            (line << _KEY_SHIFT) + producer + 2)
+                        if slot is not None:
+                            # L1 hit on the exact version: touch,
+                            # record the read, complete at L1 latency.
+                            l1_touch[pid][slot] = when
+                            l1_stats[pid].hits += 1
+                            dstats.reads += 1
+                            if producer != tid:
+                                if producer != ARCH_TASK_ID:
+                                    dstats.forwarded_reads += 1
+                                if row is None:
+                                    row = len(dir_words)
+                                    dir_rows[word] = row
+                                    dir_producers.append([])
+                                    dir_readers.append({tid: producer})
+                                    dir_words.append(word)
+                                else:
+                                    readers = dir_readers[row]
+                                    previous = readers.get(tid)
+                                    if (previous is None
+                                            or producer < previous):
+                                        readers[tid] = producer
+                                run.read_words.add(word)
+                            observed = run.observed_reads
+                            if word not in observed:
+                                observed[word] = producer
+                            run.op_index = i + 1
+                            inflight_start[pid] = when
+                            inflight_busy[pid] = 0.0
+                            inflight_mem[pid] = lat_l1
+                            inflight_live[pid] = True
+                            seq = sim._seq + 1
+                            sim._seq = seq
+                            push((when + lat_l1, seq, None,
+                                  (proc, epoch, run, attempt,
+                                   0.0, lat_l1)))
+                            continue
+                    elif not is_sv:
+                        # Write hitting the task's own L1 version.
+                        line = word >> _LINE_SHIFT
+                        slot = l1_keys[pid].get(
+                            (line << _KEY_SHIFT) + tid + 2)
+                        if slot is not None:
+                            l1_touch[pid][slot] = when
+                            l1_stats[pid].hits += 1
+                            l1_dirty[pid][slot] = 1
+                            words = run.words_by_line.get(line)
+                            if words is None:
+                                run.words_by_line[line] = {word}
+                            else:
+                                words.add(word)
+                            # record_write against the interned rows.
+                            dstats.writes += 1
+                            row = dir_rows.get(word)
+                            if row is None:
+                                dir_rows[word] = len(dir_words)
+                                dir_producers.append([tid])
+                                dir_readers.append({})
+                                dir_words.append(word)
+                            else:
+                                producers = dir_producers[row]
+                                idx = bisect_right(producers, tid)
+                                if idx == 0 or producers[idx - 1] != tid:
+                                    insort(producers, tid)
+                                readers = dir_readers[row]
+                                if readers:
+                                    violated = [
+                                        reader
+                                        for reader, seen
+                                        in readers.items()
+                                        if reader > tid and seen < tid
+                                    ]
+                                    if violated:
+                                        dstats.violations += 1
+                                        sim._squash(min(violated), when)
+                            run.op_index = i + 1
+                            inflight_start[pid] = when
+                            inflight_busy[pid] = 0.0
+                            inflight_mem[pid] = lat_l1
+                            inflight_live[pid] = True
+                            seq = sim._seq + 1
+                            sim._seq = seq
+                            push((when + lat_l1, seq, None,
+                                  (proc, epoch, run, attempt,
+                                   0.0, lat_l1)))
+                            continue
+                # Anything else — L1 miss, SV write, line-granularity
+                # mode, FMM first write, overflow refetch — takes the
+                # reference method path from the current step.
+                sim._advance(proc, when)
+                if sim._finished:
+                    break
+    finally:
+        sim._events_processed = processed

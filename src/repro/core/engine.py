@@ -30,7 +30,9 @@ violations — is preserved to memory-latency resolution.
 
 from __future__ import annotations
 
+import os
 import time
+from bisect import bisect_right, insort
 from typing import Any, Callable
 
 from repro.core.config import MachineConfig
@@ -38,18 +40,20 @@ from repro.core.events import BucketQueue
 from repro.core.results import SimulationResult, TaskTiming, TrafficStats
 from repro.core.taxonomy import MergePolicy, Scheme, TaskPolicy
 from repro.errors import ConfigurationError, SimulationError
-from repro.memsys.address import line_of, words_of_line
-from repro.memsys.cache import ARCH_TASK_ID, CacheLine
+from repro.memsys.address import WORDS_PER_LINE, line_of, words_of_line
+from repro.memsys.cache import ARCH_TASK_ID, KEY_BIAS, KEY_SHIFT, CacheLine
 from repro.memsys.mainmem import MainMemory
+from repro.memsys.undolog import LogEntry
 from repro.processor.processor import CycleCategory, Processor
 from repro.tls.commit import CommitController
 from repro.tls.scheduler import TaskScheduler
 from repro.tls.task import (
-    OP_COMPUTE,
-    OP_READ,
-    OP_WRITE,
+    STEP_BUSY,
+    STEP_READ,
+    STEP_WRITE,
     TaskRun,
     TaskState,
+    compile_steps,
 )
 from repro.core.hooks import SimulationHook
 from repro.core.trace import TraceEvent, TraceRecorder
@@ -58,11 +62,52 @@ from repro.workloads.base import Workload
 
 _MAX_EVENTS_DEFAULT = 50_000_000
 
+#: Shift equivalents used by the batched drain loop's inlined fast paths:
+#: ``line_of(word) == word >> _LINE_SHIFT`` for the power-of-two line size,
+#: and the packed cache residency key from :mod:`repro.memsys.cache`.
+_LINE_SHIFT = WORDS_PER_LINE.bit_length() - 1
+assert 1 << _LINE_SHIFT == WORDS_PER_LINE
+_KEY_SHIFT = KEY_SHIFT
+assert KEY_BIAS == 2  # the inline fast paths hard-code the +2 bias
+
 #: Version tag of the engine's timing model. Bump whenever a change alters
 #: simulated timing or statistics: the on-disk result cache
 #: (:mod:`repro.runner.cache`) keys every entry on this tag, so stale
 #: results from an older engine are never replayed as current ones.
 ENGINE_VERSION = "2"
+
+#: Environment switch for the opt-in batch-drain kernel (engine-core v3):
+#: any non-empty value other than "0"/"false"/"off" makes
+#: :meth:`Simulation.run` dispatch unobserved runs through
+#: :mod:`repro.core._kernel` instead of the in-class reference loop. The
+#: kernel module mirrors the reference loop statement for statement and
+#: is written in the mypyc-compilable subset, so an ahead-of-time
+#: compiled build can shadow it; either way the simulated behaviour is
+#: bit-identical (CI runs the golden corpus on both legs), which is why
+#: flipping the switch requires no ENGINE_VERSION bump.
+KERNEL_ENV = "REPRO_TLS_KERNEL"
+
+
+def kernel_requested() -> bool:
+    """True when :data:`KERNEL_ENV` asks for the opt-in drain kernel."""
+    value = os.environ.get(KERNEL_ENV, "")
+    return value.lower() not in ("", "0", "false", "off")
+
+
+def kernel_info() -> dict[str, Any]:
+    """Describe the kernel configuration (for bench reports and CI logs).
+
+    ``enabled`` — whether :data:`KERNEL_ENV` selects the kernel path;
+    ``compiled`` — whether the kernel module is an ahead-of-time
+    compiled extension (False means the same Python source runs, which
+    is still a valid A/B leg for byte-equality checks).
+    """
+    from repro.core import _kernel
+
+    return {
+        "enabled": kernel_requested(),
+        "compiled": not _kernel.__file__.endswith(".py"),
+    }
 
 
 class Simulation:
@@ -177,9 +222,27 @@ class Simulation:
         self._bank_service = self.costs.memory_bank_service
         # Procs with no runnable work, waiting for squash re-enqueues.
         self._idle_procs: set[int] = set()
-        # In-flight op accounting: proc -> (start, busy, mem) for exact
-        # attribution if the op is aborted by a squash.
-        self._inflight: dict[int, tuple[float, float, float]] = {}
+        # In-flight op accounting (engine-core v3): flat per-processor
+        # columns indexed by proc id, for exact attribution if the op is
+        # aborted by a squash. A column set replaces the old proc->tuple
+        # dict: the drain loop writes three floats and a flag instead of
+        # hashing the proc id and allocating a tuple per event.
+        self._inflight_start = [0.0] * n
+        self._inflight_busy = [0.0] * n
+        self._inflight_mem = [0.0] * n
+        self._inflight_live = bytearray(n)
+        # Compiled step columns (engine-core v3): each task's op list is
+        # flattened once into parallel (kind, word, busy) arrays — see
+        # repro.tls.task.compile_steps — so the hot loop advances a
+        # cursor through flat columns instead of re-scanning and
+        # re-coalescing the op tuples on every event.
+        ipc = self.costs.ipc
+        for run in self.runs.values():
+            run.step_kind, run.step_word, run.step_busy = compile_steps(
+                run.spec, ipc)
+        # Opt-in drain kernel (resolved once per simulation so tests can
+        # flip the environment switch between runs).
+        self._use_kernel = kernel_requested()
 
         # Statistics.
         self.traffic = TrafficStats()
@@ -225,10 +288,14 @@ class Simulation:
         if hook is not None:
             hook.on_start(self)
         try:
-            if hook is None:
-                self._drain_events()
-            else:
+            if hook is not None:
                 self._drain_events_hooked(hook)
+            elif self._use_kernel:
+                from repro.core import _kernel
+
+                _kernel.drain(self)
+            else:
+                self._drain_events()
         finally:
             self._wall_clock_seconds = time.perf_counter() - started
         result = self._build_result()
@@ -237,12 +304,60 @@ class Simulation:
         return result
 
     def _drain_events(self) -> None:
-        """Hot dispatch loop (no hook attached): pop, advance time, call."""
+        """Hot batched dispatch loop (no hook attached) — engine-core v3.
+
+        Reference implementation of the batch-drain kernel; the opt-in
+        compiled path (:mod:`repro.core._kernel`, selected via
+        :data:`KERNEL_ENV`) mirrors this loop statement for statement,
+        and CI asserts both produce byte-identical results. Keep the two
+        in lock-step when editing either.
+
+        Structure: :meth:`BucketQueue.pop_batch
+        <repro.core.events.BucketQueue.pop_batch>` hands over every
+        event sharing the minimum timestamp in exact ``(when, seq)``
+        order, so the clock write, queue probes, and policy flags are
+        paid once per batch instead of once per event. Within the batch,
+        the overwhelmingly common event — an op completion whose next
+        step is a busy burst, an L1-resident read, or an L1-resident
+        write — is executed inline against the flat state columns
+        (compiled task steps, interned cache slots, interned directory
+        rows, flat in-flight/accounting columns); every other case falls
+        back to the same :meth:`_advance` / :meth:`_task_done` methods
+        the hooked loop uses, so there is exactly one implementation of
+        the protocol's hard cases. Op completions travel with
+        ``fn=None`` (see :meth:`_schedule_op_done`); the inline path and
+        :meth:`_op_done` are mutation-for-mutation identical, which is
+        what keeps this rewrite bit-identical with no ENGINE_VERSION
+        bump.
+        """
         # Bind everything the loop touches to locals once.
         events = self._events
-        pop = events.pop
+        pop_batch = events.pop_batch
+        push = events.push
         max_events = self.max_events
         processed = self._events_processed
+        procs = self.procs
+        directory = self.directory
+        dir_rows = directory._row
+        dir_producers = directory._producers
+        dir_readers = directory._readers
+        dir_words = directory._words
+        dstats = directory.stats
+        l1_keys = [p.l1._key_slot for p in procs]
+        l1_touch = [p.l1._touch for p in procs]
+        l1_dirty = [p.l1._dirty for p in procs]
+        l1_stats = [p.l1.stats for p in procs]
+        accounts = [p.account._cycles for p in procs]
+        inflight_start = self._inflight_start
+        inflight_busy = self._inflight_busy
+        inflight_mem = self._inflight_mem
+        inflight_live = self._inflight_live
+        lat_l1 = self._lat_l1f
+        is_sv = self._is_sv
+        # The inline read/write paths implement word-granularity
+        # violation tracking only; the conservative line-granularity
+        # mode takes the method path for every memory op.
+        fast_rw = not self._line_gran
         try:
             while not self._finished:
                 if not events:
@@ -251,25 +366,179 @@ class Simulation:
                         f"(committed {self.commit.next_to_commit}/"
                         f"{self.commit.n_tasks})"
                     )
-                when, _seq, fn, args = pop()
+                batch = pop_batch()
+                when = batch[0][0]
                 self.now = when
-                processed += 1
-                if processed > max_events:
-                    raise SimulationError(
-                        f"exceeded {self.max_events} events; likely livelock"
-                    )
-                fn(*args, when)
+                for event in batch:
+                    processed += 1
+                    if processed > max_events:
+                        raise SimulationError(
+                            f"exceeded {self.max_events} events; "
+                            f"likely livelock"
+                        )
+                    fn = event[2]
+                    if fn is not None:
+                        fn(*event[3], when)
+                        if self._finished:
+                            break
+                        continue
+                    # ---- op completion (inlined _op_done) ----
+                    proc, epoch, run, attempt, busy, mem = event[3]
+                    if proc.epoch != epoch or run.attempt != attempt:
+                        continue  # aborted by a squash
+                    pid = proc.proc_id
+                    inflight_live[pid] = False
+                    account = accounts[pid]
+                    account[0] += busy   # CycleCategory.BUSY
+                    account[1] += mem    # CycleCategory.MEMORY
+                    run.attempt_busy += busy
+                    # ---- advance (inlined) ----
+                    kinds = run.step_kind
+                    i = run.op_index
+                    if i == len(kinds):
+                        self._task_done(proc, run, when)
+                        if self._finished:
+                            break
+                        continue
+                    kind = kinds[i]
+                    if kind == STEP_BUSY:
+                        step_busy = run.step_busy[i]
+                        run.op_index = i + 1
+                        inflight_start[pid] = when
+                        inflight_busy[pid] = step_busy
+                        inflight_mem[pid] = 0.0
+                        inflight_live[pid] = True
+                        seq = self._seq + 1
+                        self._seq = seq
+                        push((when + step_busy, seq, None,
+                              (proc, epoch, run, attempt, step_busy, 0.0)))
+                        continue
+                    if fast_rw:
+                        word = run.step_word[i]
+                        tid = run.spec.task_id
+                        if kind == STEP_READ:
+                            # version_for_read against the interned rows.
+                            row = dir_rows.get(word)
+                            if row is None:
+                                producer = ARCH_TASK_ID
+                            else:
+                                producers = dir_producers[row]
+                                idx = (bisect_right(producers, tid)
+                                       if producers else 0)
+                                producer = (producers[idx - 1] if idx
+                                            else ARCH_TASK_ID)
+                            line = word >> _LINE_SHIFT
+                            slot = l1_keys[pid].get(
+                                (line << _KEY_SHIFT) + producer + 2)
+                            if slot is not None:
+                                # L1 hit on the exact version: touch,
+                                # record the read, complete at L1 latency.
+                                l1_touch[pid][slot] = when
+                                l1_stats[pid].hits += 1
+                                dstats.reads += 1
+                                if producer != tid:
+                                    if producer != ARCH_TASK_ID:
+                                        dstats.forwarded_reads += 1
+                                    if row is None:
+                                        row = len(dir_words)
+                                        dir_rows[word] = row
+                                        dir_producers.append([])
+                                        dir_readers.append({tid: producer})
+                                        dir_words.append(word)
+                                    else:
+                                        readers = dir_readers[row]
+                                        previous = readers.get(tid)
+                                        if (previous is None
+                                                or producer < previous):
+                                            readers[tid] = producer
+                                    run.read_words.add(word)
+                                observed = run.observed_reads
+                                if word not in observed:
+                                    observed[word] = producer
+                                run.op_index = i + 1
+                                inflight_start[pid] = when
+                                inflight_busy[pid] = 0.0
+                                inflight_mem[pid] = lat_l1
+                                inflight_live[pid] = True
+                                seq = self._seq + 1
+                                self._seq = seq
+                                push((when + lat_l1, seq, None,
+                                      (proc, epoch, run, attempt,
+                                       0.0, lat_l1)))
+                                continue
+                        elif not is_sv:
+                            # Write hitting the task's own L1 version.
+                            line = word >> _LINE_SHIFT
+                            slot = l1_keys[pid].get(
+                                (line << _KEY_SHIFT) + tid + 2)
+                            if slot is not None:
+                                l1_touch[pid][slot] = when
+                                l1_stats[pid].hits += 1
+                                l1_dirty[pid][slot] = 1
+                                words = run.words_by_line.get(line)
+                                if words is None:
+                                    run.words_by_line[line] = {word}
+                                else:
+                                    words.add(word)
+                                # record_write against the interned rows.
+                                dstats.writes += 1
+                                row = dir_rows.get(word)
+                                if row is None:
+                                    dir_rows[word] = len(dir_words)
+                                    dir_producers.append([tid])
+                                    dir_readers.append({})
+                                    dir_words.append(word)
+                                else:
+                                    producers = dir_producers[row]
+                                    idx = bisect_right(producers, tid)
+                                    if idx == 0 or producers[idx - 1] != tid:
+                                        insort(producers, tid)
+                                    readers = dir_readers[row]
+                                    if readers:
+                                        violated = [
+                                            reader
+                                            for reader, seen
+                                            in readers.items()
+                                            if reader > tid and seen < tid
+                                        ]
+                                        if violated:
+                                            dstats.violations += 1
+                                            self._squash(min(violated), when)
+                                run.op_index = i + 1
+                                inflight_start[pid] = when
+                                inflight_busy[pid] = 0.0
+                                inflight_mem[pid] = lat_l1
+                                inflight_live[pid] = True
+                                seq = self._seq + 1
+                                self._seq = seq
+                                push((when + lat_l1, seq, None,
+                                      (proc, epoch, run, attempt,
+                                       0.0, lat_l1)))
+                                continue
+                    # Anything else — L1 miss, SV write, line-granularity
+                    # mode, FMM first write, overflow refetch — takes the
+                    # reference method path from the current step.
+                    self._advance(proc, when)
+                    if self._finished:
+                        break
         finally:
             self._events_processed = processed
 
     def _drain_events_hooked(self, hook: "SimulationHook") -> None:
-        """Dispatch loop variant with a hook: identical except for the
-        per-event ``after_event`` call."""
+        """Batched dispatch loop variant with an observation hook.
+
+        Identical semantics to :meth:`_drain_events`, with two
+        differences: every event goes through the reference methods
+        (no inline fast path — observed runs are not the hot path), and
+        ``after_event`` fires after each event, including the one that
+        finishes the simulation.
+        """
         events = self._events
-        pop = events.pop
+        pop_batch = events.pop_batch
         max_events = self.max_events
         processed = self._events_processed
         after_event = hook.after_event
+        op_done = self._op_done
         try:
             while not self._finished:
                 if not events:
@@ -278,15 +547,24 @@ class Simulation:
                         f"(committed {self.commit.next_to_commit}/"
                         f"{self.commit.n_tasks})"
                     )
-                when, _seq, fn, args = pop()
+                batch = pop_batch()
+                when = batch[0][0]
                 self.now = when
-                processed += 1
-                if processed > max_events:
-                    raise SimulationError(
-                        f"exceeded {self.max_events} events; likely livelock"
-                    )
-                fn(*args, when)
-                after_event(self, when)
+                for event in batch:
+                    processed += 1
+                    if processed > max_events:
+                        raise SimulationError(
+                            f"exceeded {self.max_events} events; "
+                            f"likely livelock"
+                        )
+                    fn = event[2]
+                    if fn is None:
+                        op_done(*event[3], when)
+                    else:
+                        fn(*event[3], when)
+                    after_event(self, when)
+                    if self._finished:
+                        break
         finally:
             self._events_processed = processed
 
@@ -312,37 +590,34 @@ class Simulation:
         self._advance(proc, now)
 
     def _advance(self, proc: Processor, now: float) -> None:
-        """Process ops of the current task until one blocks or completes.
+        """Process the current task's next step, or complete the task.
 
-        Compute instructions are coalesced into a single busy burst that
-        completes in one event; memory operations are then performed with no
-        pending busy time, so violation interleavings and stall starts are
-        observed at their true simulated times.
+        Reference implementation of one advance: the batched drain loops
+        inline the common cases (busy burst, L1-resident read/write) and
+        fall back here for everything else. Steps come from the compiled
+        flat columns (:func:`~repro.tls.task.compile_steps`): compute
+        instructions are already coalesced into single busy bursts that
+        complete in one event, and memory operations are performed with
+        no pending busy time, so violation interleavings and stall starts
+        are observed at their true simulated times.
         """
         run = proc.current
         if run is None:
             raise SimulationError(f"P{proc.proc_id} advancing without a task")
-        ops = run.spec.ops
-        n_ops = len(ops)
+        kinds = run.step_kind
         i = run.op_index
-        ipc = self._ipc
-        busy = 0.0
-        while i < n_ops:
-            kind, value = ops[i]
-            if kind != OP_COMPUTE:
-                break
-            busy += value / ipc
-            i += 1
-        run.op_index = i
-        if busy > 0:
-            self._schedule_op_done(proc, run, now, busy=busy, mem=0.0)
-            return
-        if i >= n_ops:
+        if i == len(kinds):
             self._task_done(proc, run, now)
             return
-        kind, value = ops[i]
-        if kind == OP_WRITE and self._is_sv:
-            blocker = self._sv_blocker(proc, run, value)
+        kind = kinds[i]
+        if kind == STEP_BUSY:
+            run.op_index = i + 1
+            self._schedule_op_done(proc, run, now, busy=run.step_busy[i],
+                                   mem=0.0)
+            return
+        word = run.step_word[i]
+        if kind == STEP_WRITE and self._is_sv:
+            blocker = self._sv_blocker(proc, run, word)
             if blocker is not None:
                 run.state = TaskState.SV_STALLED
                 proc.park(now, CycleCategory.SV_STALL, sv_blocker=blocker)
@@ -350,21 +625,28 @@ class Simulation:
                     self.trace.emit(TraceEvent.SV_STALL, now, run.task_id,
                                     proc.proc_id, detail=blocker)
                 return
-        if kind == OP_READ:
-            latency, extra_busy = self._do_read(proc, run, value, now)
+        if kind == STEP_READ:
+            latency, extra_busy = self._do_read(proc, run, word, now)
         else:
-            latency, extra_busy = self._do_write(proc, run, value, now)
+            latency, extra_busy = self._do_write(proc, run, word, now)
         run.op_index = i + 1
         self._schedule_op_done(proc, run, now, busy=extra_busy, mem=latency)
 
     def _schedule_op_done(self, proc: Processor, run: TaskRun, now: float,
                           *, busy: float, mem: float) -> None:
-        self._inflight[proc.proc_id] = (now, busy, mem)
+        pid = proc.proc_id
+        self._inflight_start[pid] = now
+        self._inflight_busy[pid] = busy
+        self._inflight_mem[pid] = mem
+        self._inflight_live[pid] = 1
         # Direct push: durations are non-negative by construction, so the
         # scheduling-into-the-past check of _schedule is redundant here.
+        # Op completions are marked with fn=None instead of a bound method:
+        # the drain loops recognize the marker and run the completion
+        # inline (or via _op_done on the hooked path).
         self._seq += 1
         self._events.push((
-            now + busy + mem, self._seq, self._op_done,
+            now + busy + mem, self._seq, None,
             (proc, proc.epoch, run, run.attempt, busy, mem),
         ))
 
@@ -380,7 +662,7 @@ class Simulation:
     ) -> None:
         if proc.epoch != epoch or run.attempt != attempt:
             return  # aborted by a squash; accounting handled there
-        self._inflight.pop(proc.proc_id, None)
+        self._inflight_live[proc.proc_id] = 0
         proc.account.add_op(busy, mem)
         run.attempt_busy += busy
         self._advance(proc, now)
@@ -406,14 +688,17 @@ class Simulation:
         Models the L1-table traversal of Section 4.1 (its time is "largely
         negligible", so no cycles are charged).
         """
-        for entry in list(proc.l1.lines_of_task(run.task_id)):
-            if entry.dirty:
-                proc.l1.remove(entry)
-                victim = proc.l2.insert(
-                    CacheLine(entry.line_addr, entry.task_id, dirty=True,
-                              committed=entry.committed),
-                    now,
-                )
+        l1 = proc.l1
+        dirty_col = l1._dirty
+        committed_col = l1._committed
+        for entry in l1.lines_of_task(run.task_id):
+            slot = entry._slot
+            if dirty_col[slot]:
+                committed = bool(committed_col[slot])
+                l1.remove(entry)
+                victim = proc.l2.install(entry.line_addr, entry.task_id,
+                                         dirty=True, committed=committed,
+                                         now=now)
                 if victim is not None:
                     self._dispose_victim(proc, victim, now)
 
@@ -444,21 +729,28 @@ class Simulation:
     def _do_write(
         self, proc: Processor, run: TaskRun, word: int, now: float
     ) -> tuple[float, float]:
-        line = line_of(word)
+        line = word >> _LINE_SHIFT
         tid = run.task_id
         extra_busy = 0.0
 
-        # Locate / allocate the task's own version of the line.
-        own_l1 = proc.l1.find(line, tid)
-        own_l2 = None if own_l1 else proc.l2.find(line, tid)
-        if own_l1 is not None:
-            proc.l1.touch(own_l1, now)
-            own_l1.dirty = True
+        # Locate / allocate the task's own version of the line (probing
+        # the packed residency key directly; the task's own lookup does
+        # not record misses, matching find()'s purity).
+        l1 = proc.l1
+        key = (line << _KEY_SHIFT) + tid + 2
+        slot = l1._key_slot.get(key)
+        l2_slot = None if slot is not None else proc.l2._key_slot.get(key)
+        if slot is not None:
+            l1._touch[slot] = now
+            l1.stats.hits += 1
+            l1._dirty[slot] = 1
             latency = self._lat_l1f
-        elif own_l2 is not None:
-            proc.l2.touch(own_l2, now)
-            own_l2.dirty = True
-            self._install(proc.l1, proc, line, tid, dirty=True,
+        elif l2_slot is not None:
+            l2 = proc.l2
+            l2._touch[l2_slot] = now
+            l2.stats.hits += 1
+            l2._dirty[l2_slot] = 1
+            self._install(l1, proc, line, tid, dirty=True,
                           committed=False, now=now)
             latency = self._lat_l2f
         elif proc.overflow.holds(line, tid):
@@ -487,7 +779,11 @@ class Simulation:
                 extra_busy += self._fmm_log_overwrite(proc, run, line, now)
             self._install_both(proc, line, tid, dirty=True, now=now)
 
-        run.record_write(word)
+        words = run.words_by_line.get(line)
+        if words is None:
+            run.words_by_line[line] = {word}
+        else:
+            words.add(word)
         violated = self.directory.record_write(word, tid)
         if self._line_gran:
             # Conservative line-granularity detection: readers of *any*
@@ -514,25 +810,38 @@ class Simulation:
         tid = run.task_id
         if not proc.undolog.needs_entry(tid, line):
             return 0.0
-        words = {}
+        # Per-word previous-version probes against the directory's
+        # interned rows (inline latest_version_at_most: one line is
+        # WORDS_PER_LINE probes, several thousand lines get logged per
+        # FMM run). The words iterate in ascending address order, so the
+        # collected pairs are already sorted.
+        rows = self.directory._row
+        all_producers = self.directory._producers
+        words: list[tuple[int, int]] = []
         saved_producer = ARCH_TASK_ID
-        for w in words_of_line(line):
-            prev = self.directory.latest_version_at_most(w, tid)
+        start = line << _LINE_SHIFT
+        for w in range(start, start + WORDS_PER_LINE):
+            row = rows.get(w)
+            if row is None:
+                prev = ARCH_TASK_ID
+            else:
+                producers = all_producers[row]
+                idx = bisect_right(producers, tid) if producers else 0
+                prev = producers[idx - 1] if idx else ARCH_TASK_ID
             if prev == tid:
                 # The word was written by tid itself in an earlier attempt
                 # epoch; cannot happen for a first write in this attempt.
                 raise SimulationError(
                     f"task {tid} logging a line it already owns: {line:#x}"
                 )
-            words[w] = prev
-            saved_producer = max(saved_producer, prev)
-        from repro.memsys.undolog import LogEntry
-
+            words.append((w, prev))
+            if prev > saved_producer:
+                saved_producer = prev
         proc.undolog.append(LogEntry(
             line_addr=line,
             producer_task=saved_producer if saved_producer < tid else ARCH_TASK_ID,
             overwriting_task=tid,
-            words=tuple(sorted(words.items())),
+            words=tuple(words),
         ))
         if self.trace is not None:
             self.trace.emit(TraceEvent.UNDOLOG_APPEND, now, tid,
@@ -561,19 +870,24 @@ class Simulation:
         install_copy: bool = True,
     ) -> float:
         """Round-trip latency to obtain version ``producer`` of ``line``."""
-        hit = proc.l1.find(line, producer)
-        if hit is not None:
-            proc.l1.touch(hit, now)
+        l1 = proc.l1
+        key = (line << _KEY_SHIFT) + producer + 2
+        slot = l1._key_slot.get(key)
+        if slot is not None:
+            l1._touch[slot] = now
+            l1.stats.hits += 1
             return self._lat_l1f
-        proc.l1.record_miss()
-        hit = proc.l2.find(line, producer)
-        if hit is not None:
-            proc.l2.touch(hit, now)
+        l1.stats.misses += 1
+        l2 = proc.l2
+        slot = l2._key_slot.get(key)
+        if slot is not None:
+            l2._touch[slot] = now
+            l2.stats.hits += 1
             if install_copy:
-                self._install(proc.l1, proc, line, producer, dirty=False,
-                              committed=hit.committed, now=now)
+                self._install(l1, proc, line, producer, dirty=False,
+                              committed=bool(l2._committed[slot]), now=now)
             return self._lat_l2f
-        proc.l2.record_miss()
+        l2.stats.misses += 1
         latency, cacheable = self._global_fetch(proc, line, producer)
         if install_copy and cacheable:
             self._install_both(proc, line, producer, dirty=False, now=now,
@@ -655,17 +969,15 @@ class Simulation:
 
     def _install(self, cache, proc: Processor, line: int, task_id: int, *,
                  dirty: bool, committed: bool, now: float) -> None:
-        victim = cache.insert(
-            CacheLine(line, task_id, dirty=dirty, committed=committed), now
-        )
+        victim = cache.install(line, task_id, dirty=dirty,
+                               committed=committed, now=now)
         if victim is None:
             return
         if cache is proc.l1:
             if victim.dirty:
-                inner = proc.l2.insert(
-                    CacheLine(victim.line_addr, victim.task_id, dirty=True,
-                              committed=victim.committed), now
-                )
+                inner = proc.l2.install(victim.line_addr, victim.task_id,
+                                        dirty=True, committed=victim.committed,
+                                        now=now)
                 if inner is not None:
                     self._dispose_victim(proc, inner, now)
             return
@@ -1006,12 +1318,15 @@ class Simulation:
         current = proc.current
         if current is not None and current.task_id in victim_ids:
             # Charge the partially-executed in-flight op exactly.
-            inflight = self._inflight.pop(proc.proc_id, None)
+            pid = proc.proc_id
+            live = self._inflight_live[pid]
+            self._inflight_live[pid] = 0
             if proc.parked:
                 # SV-stalled on a squashed task: close the stall interval.
                 proc.unpark(now)
-            elif inflight is not None:
-                start, busy, mem = inflight
+            elif live:
+                start = self._inflight_start[pid]
+                busy = self._inflight_busy[pid]
                 elapsed = max(0.0, now - start)
                 busy_part = min(busy, elapsed)
                 proc.account.add(CycleCategory.BUSY, busy_part)

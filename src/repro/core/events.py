@@ -74,6 +74,45 @@ class BucketQueue:
         self._len -= 1
         return item
 
+    def pop_batch(self) -> list[tuple[float, int, Any, Any]]:
+        """Remove and return *all* items sharing the minimum ``when``.
+
+        The batch preserves exact ``(when, seq)`` order, so iterating it
+        is indistinguishable from calling :meth:`pop` repeatedly while
+        the head time stays constant. The engine's batched dispatch loop
+        (engine-core v3) uses this to hoist clock updates and
+        policy-flag reads out of the per-event body: events with the
+        same timestamp cannot observe each other's latencies, only each
+        other's protocol state, which the in-order batch walk preserves.
+
+        Items pushed *while* a batch is being processed (even at the
+        same simulated time) land in the queue for the next call — their
+        ``seq`` is necessarily higher than every batch member's, so
+        overall ``(when, seq)`` order is still exactly heap order.
+
+        Raises IndexError when the queue is empty.
+        """
+        order = self._order
+        bucket_id = order[0]
+        bucket = self._buckets[bucket_id]
+        if len(bucket) == 1:
+            # Common case: a lone event in the head bucket.
+            del self._buckets[bucket_id]
+            heappop(order)
+            self._len -= 1
+            return bucket
+        first = heappop(bucket)
+        when = first[0]
+        batch = [first]
+        append = batch.append
+        while bucket and bucket[0][0] == when:
+            append(heappop(bucket))
+        if not bucket:
+            del self._buckets[bucket_id]
+            heappop(order)
+        self._len -= len(batch)
+        return batch
+
     def peek_time(self) -> float:
         """Simulated time of the earliest item; IndexError when empty."""
         return self._buckets[self._order[0]][0][0]

@@ -37,11 +37,18 @@ SEED_SWEEP_SECONDS = 30.80
 #: Events/second of the engine microbench on the pre-optimization seed
 #: engine in this container. Reference point for the >=1.15x target.
 SEED_EVENTS_PER_SECOND = 37_246.0
-#: Committed perf-regression floor for the CI gate: the seed baseline
-#: minus a 10% noise allowance. The ``perf-smoke`` CI job fails when the
-#: smoke engine bench drops below this (the optimized engine runs at
-#: several times the seed, so tripping it means a real regression).
-FLOOR_EVENTS_PER_SECOND = SEED_EVENTS_PER_SECOND * 0.9
+#: Engine-core v2 baseline (PR-5's committed full bench) in the
+#: container that measured it. Kept for the perf-trajectory table.
+V2_EVENTS_PER_SECOND = 109_942.0
+#: Committed perf-regression floor for the CI gate. The ``perf-smoke``
+#: CI job fails when the smoke engine bench drops below this. Referenced
+#: to the engine-core v3 pure-Python baseline (~95-105k ev/s on the
+#: growth container) rather than the seed: anything below the floor is
+#: a structural regression, not scheduling jitter. The allowance below
+#: the baseline is ~35%, not the 10% a dedicated perf rig would permit,
+#: because repeated runs in the shared containers show +-10-15%
+#: run-to-run variance and larger container-to-container spread.
+FLOOR_EVENTS_PER_SECOND = 66_000.0
 
 #: Canonical engine-microbench grid (a subset keeps the bench short
 #: while covering eager/lazy merging and AMM/FMM buffering).
@@ -65,7 +72,7 @@ def run_engine_bench(scale: float = 1.0, seed: int = 0,
                      ) -> dict[str, Any]:
     """Measure raw engine throughput (events/second), serial, no cache."""
     from repro.core.config import NUMA_16
-    from repro.core.engine import Simulation
+    from repro.core.engine import Simulation, kernel_info
     from repro.workloads.apps import APPLICATIONS
 
     schemes = _engine_bench_schemes()
@@ -78,6 +85,7 @@ def run_engine_bench(scale: float = 1.0, seed: int = 0,
             events += result.events_processed
     elapsed = time.perf_counter() - started
     eps = events / elapsed if elapsed > 0 else 0.0
+    kernel = kernel_info()
     report: dict[str, Any] = {
         "apps": list(apps),
         "schemes": [s.name for s in schemes],
@@ -85,6 +93,8 @@ def run_engine_bench(scale: float = 1.0, seed: int = 0,
         "events": events,
         "seconds": round(elapsed, 3),
         "events_per_second": round(eps, 1),
+        "kernel_enabled": kernel["enabled"],
+        "kernel_compiled": kernel["compiled"],
     }
     if scale == 1.0 and apps == ENGINE_BENCH_APPS:
         report["seed_events_per_second"] = SEED_EVENTS_PER_SECOND
@@ -206,6 +216,65 @@ def check_floor(engine_report: dict[str, Any],
     }
 
 
+def compare_kernel(scale: float = 1.0, seed: int = 0) -> dict[str, Any]:
+    """A/B the opt-in drain kernel against the reference loop.
+
+    Runs the engine microbench grid twice — once with
+    :data:`repro.core.engine.KERNEL_ENV` unset (the in-class reference
+    loop) and once with it set — and byte-compares the canonical
+    serialization of every cell. The two legs must be bit-identical:
+    the kernel mirrors the reference loop statement for statement, so
+    any divergence is a lock-step bug, not a tolerance question.
+
+    Returns throughput for both legs, whether the kernel module loaded
+    as a compiled extension, and the ``byte_identical`` verdict.
+    """
+    from repro.analysis.serialization import canonical_result_bytes
+    from repro.core.config import NUMA_16
+    from repro.core.engine import KERNEL_ENV, Simulation, kernel_info
+    from repro.workloads.apps import APPLICATIONS
+
+    schemes = _engine_bench_schemes()
+    legs: dict[str, dict[str, Any]] = {}
+    blobs: dict[str, list[bytes]] = {}
+    previous = os.environ.get(KERNEL_ENV)
+    try:
+        for leg, env_value in (("reference", None), ("kernel", "1")):
+            if env_value is None:
+                os.environ.pop(KERNEL_ENV, None)
+            else:
+                os.environ[KERNEL_ENV] = env_value
+            events = 0
+            leg_blobs: list[bytes] = []
+            started = time.perf_counter()
+            for app in ENGINE_BENCH_APPS:
+                workload = APPLICATIONS[app].generate(seed=seed, scale=scale)
+                for scheme in schemes:
+                    result = Simulation(NUMA_16, scheme, workload).run()
+                    events += result.events_processed
+                    leg_blobs.append(canonical_result_bytes(result))
+            elapsed = time.perf_counter() - started
+            eps = events / elapsed if elapsed > 0 else 0.0
+            legs[leg] = {
+                "events": events,
+                "seconds": round(elapsed, 3),
+                "events_per_second": round(eps, 1),
+            }
+            blobs[leg] = leg_blobs
+    finally:
+        if previous is None:
+            os.environ.pop(KERNEL_ENV, None)
+        else:
+            os.environ[KERNEL_ENV] = previous
+    return {
+        "scale": scale,
+        "kernel_compiled": kernel_info()["compiled"],
+        "reference": legs["reference"],
+        "kernel": legs["kernel"],
+        "byte_identical": blobs["reference"] == blobs["kernel"],
+    }
+
+
 #: Default destination of the :func:`profile_engine` listing.
 DEFAULT_PROFILE_PATH = Path("docs/report/profile.txt")
 
@@ -216,8 +285,13 @@ def profile_engine(output: str | Path = DEFAULT_PROFILE_PATH,
     """Profile one representative cell under cProfile.
 
     Runs Euler x MultiT&MV Eager AMM on CC-NUMA-16 (a mid-weight cell
-    exercising the multi-version hot paths) and writes the top ``top``
-    functions by cumulative time to ``output``. Returns the listing.
+    exercising the multi-version hot paths) and writes two top-``top``
+    listings to ``output``: one ordered by cumulative time (where the
+    simulated work goes) and one ordered by internal/tottime (which
+    function bodies actually burn the cycles — the view that matters
+    on the batched drain loop, whose inlined fast paths absorb work
+    that cumulative ordering attributes to callees). Returns the
+    combined listing.
     """
     import cProfile
     import io
@@ -236,10 +310,13 @@ def profile_engine(output: str | Path = DEFAULT_PROFILE_PATH,
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
     stats.sort_stats("cumulative").print_stats(top)
+    buffer.write(f"\n==== top {top} by internal time (tottime) ====\n")
+    stats.sort_stats("tottime").print_stats(top)
     listing = (
         f"cProfile: Euler x MultiT&MV Eager AMM on CC-NUMA-16 "
         f"(scale={scale}, seed={seed}); "
-        f"{result.events_processed:,} events; top {top} by cumulative time\n"
+        f"{result.events_processed:,} events; top {top} by cumulative "
+        f"time, then by internal time\n"
         + buffer.getvalue()
     )
     path = Path(output)
@@ -251,6 +328,7 @@ def profile_engine(output: str | Path = DEFAULT_PROFILE_PATH,
 def run_bench(smoke: bool = False, jobs: int | None = None,
               seed: int = 0,
               output: str | Path | None = "BENCH_sweep.json",
+              kernel_compare: bool = False,
               ) -> dict[str, Any]:
     """Full perf harness; writes the JSON report to ``output``.
 
@@ -259,6 +337,10 @@ def run_bench(smoke: bool = False, jobs: int | None = None,
     under 30 seconds; the numbers are then only sanity checks, not
     comparable to the seed baselines (the floor check still applies:
     events/second is roughly scale-independent).
+
+    ``kernel_compare=True`` adds a ``kernel_compare`` section: the
+    engine grid run on both drain-loop legs (reference and
+    ``REPRO_TLS_KERNEL``) with a byte-identity verdict.
     """
     scale = 0.1 if smoke else 1.0
     engine = run_engine_bench(scale=scale, seed=seed)
@@ -272,6 +354,8 @@ def run_bench(smoke: bool = False, jobs: int | None = None,
         "determinism": check_determinism(
             scale=0.1 if smoke else 0.25, seed=seed),
     }
+    if kernel_compare:
+        report["kernel_compare"] = compare_kernel(scale=scale, seed=seed)
     if output is not None:
         path = Path(output)
         path.write_text(json.dumps(report, indent=2) + "\n")
@@ -314,6 +398,15 @@ def render_report(report: dict[str, Any]) -> str:
             f"  floor  : {floor['measured_events_per_second']:,.0f} ev/s vs "
             f"committed floor {floor['floor_events_per_second']:,.0f} ev/s: "
             + ("pass" if floor["passed"] else "FAIL (perf regression!)"))
+    if "kernel_compare" in report:
+        compare = report["kernel_compare"]
+        lines.append(
+            f"  kernel : reference "
+            f"{compare['reference']['events_per_second']:,.0f} ev/s | "
+            f"kernel ({'compiled' if compare['kernel_compiled'] else 'source'})"
+            f" {compare['kernel']['events_per_second']:,.0f} ev/s | "
+            + ("byte-identical"
+               if compare["byte_identical"] else "MISMATCH (lock-step bug!)"))
     lines.append(
         "  determinism: "
         + ("bit-identical across serial/pool/cache-replay"

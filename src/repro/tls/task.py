@@ -29,6 +29,74 @@ OP_WRITE = 2
 #: OP_COMPUTE and a word address for OP_READ / OP_WRITE.
 Operation = tuple[int, int]
 
+#: Step kinds of the compiled flat op stream (see :func:`compile_steps`).
+#: A *step* is what the engine executes per event: either one coalesced
+#: busy burst or one memory operation.
+STEP_BUSY = 0
+STEP_READ = 1
+STEP_WRITE = 2
+
+
+def compile_steps(spec: "TaskSpec", ipc: float,
+                  ) -> tuple[bytearray, list[int], list[float]]:
+    """Compile ``spec.ops`` into flat step columns for the given IPC.
+
+    Returns ``(kinds, words, busys)`` — three parallel columns indexed
+    by the run's step cursor (engine-core v3 stores them on the
+    :class:`TaskRun`):
+
+    * ``kinds[i]`` — :data:`STEP_BUSY`, :data:`STEP_READ` or
+      :data:`STEP_WRITE`;
+    * ``words[i]`` — the word address for memory steps (0 for bursts);
+    * ``busys[i]`` — the burst's busy cycles (0.0 for memory steps).
+
+    Consecutive ``OP_COMPUTE`` ops are coalesced into one burst exactly
+    as the engine's advance loop historically did — the per-op
+    ``value / ipc`` terms are accumulated in program order, so the
+    resulting float is bit-identical to the old on-the-fly sum — and a
+    run of computes totalling 0.0 busy cycles emits no step at all
+    (the old loop scheduled no event for it either).
+
+    The compiled columns depend only on ``(spec, ipc)``; they are
+    memoized on the spec so every scheme simulated over the same
+    workload shares one copy.
+    """
+    memo = spec.__dict__.get("_steps_by_ipc")
+    if memo is None:
+        memo = {}
+        object.__setattr__(spec, "_steps_by_ipc", memo)
+    cached = memo.get(ipc)
+    if cached is not None:
+        return cached
+    kinds = bytearray()
+    words: list[int] = []
+    busys: list[float] = []
+    ops = spec.ops
+    n = len(ops)
+    i = 0
+    while i < n:
+        kind, value = ops[i]
+        if kind == OP_COMPUTE:
+            busy = 0.0
+            while i < n:
+                op_kind, op_value = ops[i]
+                if op_kind != OP_COMPUTE:
+                    break
+                busy += op_value / ipc
+                i += 1
+            if busy > 0:
+                kinds.append(STEP_BUSY)
+                words.append(0)
+                busys.append(busy)
+            continue
+        kinds.append(STEP_READ if kind == OP_READ else STEP_WRITE)
+        words.append(value)
+        busys.append(0.0)
+        i += 1
+    compiled = (kinds, words, busys)
+    memo[ipc] = compiled
+    return compiled
+
 
 @dataclass(frozen=True)
 class TaskSpec:
@@ -104,6 +172,13 @@ class TaskRun:
     squashes: int = 0
     #: Busy cycles executed by the current attempt (for wasted-work stats).
     attempt_busy: float = 0.0
+    #: Compiled flat step columns (engine-core v3): parallel arrays from
+    #: :func:`compile_steps`, installed by the engine at simulation
+    #: construction. ``op_index`` cursors through them; a squash resets
+    #: the cursor and replays the identical step stream.
+    step_kind: bytearray = field(default_factory=bytearray)
+    step_word: list[int] = field(default_factory=list)
+    step_busy: list[float] = field(default_factory=list)
 
     @property
     def task_id(self) -> int:

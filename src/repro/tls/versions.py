@@ -12,14 +12,18 @@ squashes are triggered only by an out-of-order RAW on the same word — a
 write by task T squashes reader U > T if U consumed a version older than T.
 Word granularity means false sharing within a line never squashes.
 
-Storage layout (engine-core v2): per-word state is interned into two flat
-parallel maps — ``word -> sorted producer list`` and ``word -> {reader:
-oldest version seen}`` — instead of one dict of per-word record objects.
-The hot protocol operations (:meth:`version_for_read`,
-:meth:`record_read`, :meth:`record_write`,
-:meth:`latest_version_at_most`) run several times per simulated memory
-op; dropping the record-object indirection removes an allocation and an
-attribute load from each of them.
+Storage layout (engine-core v3): per-word state is interned into *rows*.
+``_row`` maps a word address to its row index, assigned on the word's
+first tracked access and never freed; ``_producers[row]`` (sorted task-ID
+list), ``_readers[row]`` (reader -> oldest version seen) and
+``_words[row]`` (the reverse mapping) are flat parallel columns. The hot
+protocol operations (:meth:`version_for_read`, :meth:`record_read`,
+:meth:`record_write`, :meth:`latest_version_at_most`) run several times
+per simulated memory op; one shared interning dict plus list indexing
+replaces the two independent per-word dict probes of the v2 layout, and
+the engine's batched drain loop binds the columns directly for its
+inlined read/write fast paths (which must mirror the methods here
+mutation for mutation).
 """
 
 from __future__ import annotations
@@ -45,11 +49,26 @@ class VersionDirectory:
     """System-wide word-granularity version order and reader tracking."""
 
     def __init__(self) -> None:
-        #: word -> sorted producer task IDs with a live version of it.
-        self._producers: dict[int, list[int]] = {}
-        #: word -> {reader task ID: oldest producer ID that reader consumed}.
-        self._readers: dict[int, dict[int, int]] = {}
+        #: word -> row index (assigned on first tracked access, never freed).
+        self._row: dict[int, int] = {}
+        #: row -> sorted producer task IDs with a live version of the word.
+        self._producers: list[list[int]] = []
+        #: row -> {reader task ID: oldest producer ID that reader consumed}.
+        self._readers: list[dict[int, int]] = []
+        #: row -> word address (reverse mapping for sweeps and images).
+        self._words: list[int] = []
         self.stats = DirectoryStats()
+
+    def _intern(self, word_addr: int) -> int:
+        """Row index for ``word_addr``, creating an empty row if needed."""
+        row = self._row.get(word_addr)
+        if row is None:
+            row = len(self._words)
+            self._row[word_addr] = row
+            self._producers.append([])
+            self._readers.append({})
+            self._words.append(word_addr)
+        return row
 
     # ------------------------------------------------------------------
     # Reads
@@ -62,7 +81,10 @@ class VersionDirectory:
         Returns :data:`ARCH_TASK_ID` if no speculative version precedes the
         reader.
         """
-        producers = self._producers.get(word_addr)
+        row = self._row.get(word_addr)
+        if row is None:
+            return ARCH_TASK_ID
+        producers = self._producers[row]
         if not producers:
             return ARCH_TASK_ID
         idx = bisect_right(producers, reader)
@@ -82,10 +104,7 @@ class VersionDirectory:
             return
         if version_seen != ARCH_TASK_ID:
             self.stats.forwarded_reads += 1
-        readers = self._readers.get(word_addr)
-        if readers is None:
-            self._readers[word_addr] = {reader: version_seen}
-            return
+        readers = self._readers[self._intern(word_addr)]
         previous = readers.get(reader)
         if previous is None or version_seen < previous:
             readers[reader] = version_seen
@@ -101,16 +120,14 @@ class VersionDirectory:
         earliest violated reader and its successors.
         """
         self.stats.writes += 1
-        producers = self._producers.get(word_addr)
-        if producers is None:
-            self._producers[word_addr] = [producer]
-        else:
-            idx = bisect_right(producers, producer)
-            if idx == 0 or producers[idx - 1] != producer:
-                insort(producers, producer)
+        row = self._intern(word_addr)
+        producers = self._producers[row]
+        idx = bisect_right(producers, producer)
+        if idx == 0 or producers[idx - 1] != producer:
+            insort(producers, producer)
         # Inline violated_readers: the reader map is already in hand, so
-        # the hot path does a single dict lookup per write.
-        readers = self._readers.get(word_addr)
+        # the hot path does a single list index per write.
+        readers = self._readers[row]
         if not readers:
             return []
         violated = sorted(
@@ -129,7 +146,10 @@ class VersionDirectory:
         detection mode uses it to find false-sharing victims on the other
         words of the written line.
         """
-        readers = self._readers.get(word_addr)
+        row = self._row.get(word_addr)
+        if row is None:
+            return []
+        readers = self._readers[row]
         if not readers:
             return []
         return sorted(
@@ -149,18 +169,22 @@ class VersionDirectory:
         touched (the engine tracks them per attempt), so the purge is
         targeted rather than a full directory sweep.
         """
+        rows = self._row
         all_producers = self._producers
         for word in written:
-            producers = all_producers.get(word)
+            row = rows.get(word)
+            if row is None:
+                continue
+            producers = all_producers[row]
             if producers:
                 idx = bisect_right(producers, task_id)
                 if idx and producers[idx - 1] == task_id:
                     producers.pop(idx - 1)
         all_readers = self._readers
         for word in read:
-            readers = all_readers.get(word)
-            if readers is not None:
-                readers.pop(task_id, None)
+            row = rows.get(word)
+            if row is not None:
+                all_readers[row].pop(task_id, None)
 
     def purge_tasks(self, task_ids: set[int]) -> None:
         """Full-sweep removal of versions and reads of ``task_ids``.
@@ -168,11 +192,12 @@ class VersionDirectory:
         Slower than :meth:`purge_task`; kept for hand-driven protocol tests
         that do not track per-attempt word sets.
         """
-        for word, producers in self._producers.items():
+        all_producers = self._producers
+        for row, producers in enumerate(all_producers):
             if producers:
-                self._producers[word] = [p for p in producers
-                                         if p not in task_ids]
-        for readers in self._readers.values():
+                all_producers[row] = [p for p in producers
+                                      if p not in task_ids]
+        for readers in self._readers:
             for tid in task_ids.intersection(readers):
                 del readers[tid]
 
@@ -180,12 +205,13 @@ class VersionDirectory:
         """Drop reader records of a committed task (it can't be violated)."""
         all_readers = self._readers
         if read is not None:
+            rows = self._row
             for word in read:
-                readers = all_readers.get(word)
-                if readers is not None:
-                    readers.pop(task_id, None)
+                row = rows.get(word)
+                if row is not None:
+                    all_readers[row].pop(task_id, None)
             return
-        for readers in all_readers.values():
+        for readers in all_readers:
             readers.pop(task_id, None)
 
     # ------------------------------------------------------------------
@@ -200,22 +226,24 @@ class VersionDirectory:
         records but no live version yield an empty producer list, and
         vice versa.
         """
-        all_readers = self._readers
-        for word, producers in self._producers.items():
-            yield word, producers, all_readers.get(word, _EMPTY)
         all_producers = self._producers
-        for word, readers in all_readers.items():
-            if word not in all_producers:
-                yield word, [], readers
+        all_readers = self._readers
+        for row, word in enumerate(self._words):
+            yield word, all_producers[row], all_readers[row]
 
     def producers_of(self, word_addr: int) -> list[int]:
         """Task IDs with a live version of ``word_addr``, in order."""
-        producers = self._producers.get(word_addr)
-        return list(producers) if producers else []
+        row = self._row.get(word_addr)
+        if row is None:
+            return []
+        return list(self._producers[row])
 
     def latest_version_at_most(self, word_addr: int, bound: int) -> int:
         """Latest producer <= ``bound`` for ``word_addr`` (ARCH if none)."""
-        producers = self._producers.get(word_addr)
+        row = self._row.get(word_addr)
+        if row is None:
+            return ARCH_TASK_ID
+        producers = self._producers[row]
         if not producers:
             return ARCH_TASK_ID
         idx = bisect_right(producers, bound)
@@ -232,7 +260,10 @@ class VersionDirectory:
 
     def has_version(self, word_addr: int, producer: int) -> bool:
         """True when ``producer`` holds a live version of ``word_addr``."""
-        producers = self._producers.get(word_addr)
+        row = self._row.get(word_addr)
+        if row is None:
+            return False
+        producers = self._producers[row]
         if not producers:
             return False
         idx = bisect_right(producers, producer)
@@ -247,10 +278,14 @@ class VersionDirectory:
         """
         return {
             word: producers[-1]
-            for word, producers in self._producers.items()
+            for word, producers in zip(self._words, self._producers)
             if producers
         }
 
     def words_written(self) -> set[int]:
         """Every word address with at least one recorded version."""
-        return {w for w, producers in self._producers.items() if producers}
+        return {
+            word
+            for word, producers in zip(self._words, self._producers)
+            if producers
+        }

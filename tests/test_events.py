@@ -92,10 +92,114 @@ def test_push_during_drain_lands_in_already_popped_bucket_region():
     assert len(queue) == 0
 
 
+def _heapq_batch(heap):
+    """Pop from ``heap`` every item sharing the minimum ``when``."""
+    when = heap[0][0]
+    batch = []
+    while heap and heap[0][0] == when:
+        batch.append(heapq.heappop(heap))
+    return batch
+
+
+def _run_batch_script(script, width=DEFAULT_BUCKET_WIDTH):
+    """Drive pop_batch against repeated heapq pops in lock-step.
+
+    Each batch must equal exactly the run of heap pops sharing the
+    minimum time — the engine's batched drain loop (engine-core v3)
+    relies on a batch being indistinguishable from calling pop()
+    while the head time stays constant.
+    """
+    queue = BucketQueue(width)
+    heap = []
+    seq = 0
+    for step in script:
+        if step is None:
+            if not heap:
+                with pytest.raises(IndexError):
+                    queue.pop_batch()
+                continue
+            assert queue.pop_batch() == _heapq_batch(heap)
+        else:
+            seq += 1
+            item = (step, seq, None, ())
+            queue.push(item)
+            heapq.heappush(heap, item)
+        assert len(queue) == len(heap)
+        assert bool(queue) == bool(heap)
+        if heap:
+            assert queue.peek_time() == heap[0][0]
+    while heap:
+        assert queue.pop_batch() == _heapq_batch(heap)
+    assert not queue
+
+
+@settings(max_examples=200, deadline=None)
+@given(SCRIPTS)
+def test_pop_batch_matches_heapq_runs(script):
+    _run_batch_script(script)
+
+
+@settings(max_examples=50, deadline=None)
+@given(SCRIPTS, st.sampled_from([0.5, 1.0, 64.0, 1e6]))
+def test_pop_batch_matches_heapq_runs_for_any_width(script, width):
+    _run_batch_script(script, width=width)
+
+
+@settings(max_examples=100, deadline=None)
+@given(SCRIPTS, st.lists(st.booleans(), min_size=0, max_size=200))
+def test_pop_and_pop_batch_interleave(script, use_batch):
+    """Mixing pop() and pop_batch() still serves exact heap order."""
+    queue = BucketQueue()
+    heap = []
+    seq = 0
+    batched = iter(use_batch + [True] * len(script))
+    for step in script:
+        if step is None:
+            if not heap:
+                continue
+            if next(batched):
+                assert queue.pop_batch() == _heapq_batch(heap)
+            else:
+                assert queue.pop() == heapq.heappop(heap)
+        else:
+            seq += 1
+            item = (step, seq, None, ())
+            queue.push(item)
+            heapq.heappush(heap, item)
+    while heap:
+        assert queue.pop() == heapq.heappop(heap)
+    assert not queue
+
+
+def test_pop_batch_same_time_events_in_push_order():
+    queue = BucketQueue()
+    items = [(10.0, seq, None, ()) for seq in range(5)]
+    for item in reversed(items):
+        queue.push(item)
+    assert queue.pop_batch() == items
+    assert not queue
+
+
+def test_push_during_batch_lands_in_next_batch():
+    # The engine pushes completion events while walking a batch; even a
+    # same-time push must land in the *next* pop_batch call (its seq is
+    # higher than every member of the current batch, so overall
+    # (when, seq) order is still exact heap order).
+    queue = BucketQueue()
+    queue.push((10.0, 1, None, ()))
+    queue.push((10.0, 2, None, ()))
+    batch = queue.pop_batch()
+    assert batch == [(10.0, 1, None, ()), (10.0, 2, None, ())]
+    queue.push((10.0, 3, None, ()))
+    assert queue.pop_batch() == [(10.0, 3, None, ())]
+
+
 def test_empty_queue_raises_and_width_validated():
     queue = BucketQueue()
     with pytest.raises(IndexError):
         queue.pop()
+    with pytest.raises(IndexError):
+        queue.pop_batch()
     with pytest.raises(IndexError):
         queue.peek_time()
     with pytest.raises(ValueError):
