@@ -15,6 +15,9 @@ Commands (each has its own ``--help`` with examples):
   under ``docs/report/``.
 * ``repro-tls explore`` — design-space sensitivity sweeps, crossover
   search, and the complexity/performance Pareto frontier.
+* ``repro-tls trace`` — ``capture|gen|info|convert|verify``: binary
+  ``.tlstrace`` workloads (capture synthetic runs, generate adversarial
+  streams, verify capture->replay bit-identity).
 
 ``--smoke`` (on ``bench``/``validate``/``report``) means: small
 workloads at scale 0.1, a fixed two-app subset where applicable,
@@ -91,14 +94,35 @@ def _run_single(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_trace_workloads(args: argparse.Namespace) -> list:
+    """Resolve ``--traces`` / ``--trace-dir`` into TraceWorkload refs."""
+    from repro.workloads.trace import TraceWorkload, discover_traces
+
+    paths: list[str] = []
+    if getattr(args, "traces", None):
+        paths.extend(p.strip() for p in args.traces.split(",") if p.strip())
+    if getattr(args, "trace_dir", None):
+        paths.extend(discover_traces(args.trace_dir))
+    return [TraceWorkload.open(path) for path in paths]
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     from repro.core.config import MACHINES
     from repro.core.taxonomy import EVALUATED_SCHEMES, scheme_from_name
+    from repro.errors import ReproError
     from repro.runner import ResultCache, SimJob, SweepRunner, WorkloadSpec
     from repro.workloads.apps import APPLICATIONS
 
-    apps = ([a.strip() for a in args.apps.split(",") if a.strip()]
-            if args.apps else list(APPLICATIONS))
+    try:
+        traces = _sweep_trace_workloads(args)
+    except ReproError as exc:
+        print(f"trace error: {exc}", file=sys.stderr)
+        return 2
+    if args.apps or not traces:
+        apps = ([a.strip() for a in args.apps.split(",") if a.strip()]
+                if args.apps else list(APPLICATIONS))
+    else:
+        apps = []  # traces only, unless apps were requested explicitly
     unknown = [a for a in apps if a not in APPLICATIONS]
     if unknown:
         print(f"unknown application(s): {', '.join(unknown)}; "
@@ -115,11 +139,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=None if args.no_cache else ResultCache(),
     )
+    workloads = [WorkloadSpec(app, seed=args.seed, scale=args.scale)
+                 for app in apps] + traces
     jobs = [
-        SimJob(machine=machine,
-               workload=WorkloadSpec(app, seed=args.seed, scale=args.scale),
+        SimJob(machine=machine, workload=workload,
                scheme=scheme, collect_metrics=args.metrics)
-        for app in apps for scheme in schemes
+        for workload in workloads for scheme in schemes
     ]
     results = runner.run_many(jobs)
     for result in results:
@@ -281,24 +306,184 @@ def _run_explore(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_list(_args: argparse.Namespace) -> int:
+def _run_list(args: argparse.Namespace) -> int:
     from repro.explore import describe_machine, machine_registry
+    from repro.workloads.apps import APPLICATIONS
 
     print("experiments:")
     for name in EXPERIMENTS:
         print(f"  {name}")
     print("commands:")
     for command in ("run", "sweep", "bench", "validate", "report",
-                    "explore"):
+                    "explore", "trace"):
         print(f"  {command}")
+    print("applications (synthetic registry):")
+    for name, profile in APPLICATIONS.items():
+        print(f"  {name:<12} {profile.n_tasks} tasks, "
+              f"~{profile.instructions_per_task} instr/task")
+    if getattr(args, "trace_dir", None):
+        from repro.errors import ReproError
+        from repro.workloads.trace import discover_traces
+        from repro.workloads.traceio import peek_trace
+
+        print(f"trace workloads ({args.trace_dir}):")
+        try:
+            paths = discover_traces(args.trace_dir)
+        except ReproError as exc:
+            print(f"trace error: {exc}", file=sys.stderr)
+            return 2
+        if not paths:
+            print("  (none found)")
+        for path in paths:
+            try:
+                info = peek_trace(path)
+            except ReproError as exc:
+                print(f"  {path}: UNREADABLE ({exc})")
+                continue
+            print(f"  {path}: {info.header.name}, "
+                  f"{info.header.n_tasks} tasks, "
+                  f"{info.n_records} records, {info.file_bytes} bytes, "
+                  f"digest {info.digest[:12]}")
     print("machines (presets + derived explore variants):")
     for name, machine in machine_registry().items():
         print(f"  {name:<36} {describe_machine(machine)}")
     return 0
 
 
+# ----------------------------------------------------------------------
+# trace subcommands
+# ----------------------------------------------------------------------
+def _run_trace_capture(args: argparse.Namespace) -> int:
+    from repro.core.config import MACHINES
+    from repro.core.engine import Simulation
+    from repro.core.taxonomy import scheme_from_name
+    from repro.obs.capture import TraceCaptureHook
+    from repro.workloads.apps import generate_workload
+    from repro.workloads.traceio import TRACE_SUFFIX
+
+    out = args.out or f"{args.app}{TRACE_SUFFIX}"
+    workload = generate_workload(args.app, seed=args.seed, scale=args.scale)
+    hook = TraceCaptureHook(out, meta={
+        "app": args.app, "seed": str(args.seed), "scale": str(args.scale),
+    })
+    Simulation(MACHINES[args.machine], scheme_from_name(args.scheme),
+               workload, hook=hook).run()
+    print(f"captured {hook.info.summary()}")
+    print(f"written to {out}")
+    for name, value in sorted(hook.counters.items()):
+        print(f"  {name:<24} {value}")
+    return 0
+
+
+def _run_trace_gen(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.workloads.trace import generate_trace_file
+    from repro.workloads.traceio import TRACE_SUFFIX
+
+    out = args.out or f"{args.kind}{TRACE_SUFFIX}"
+    try:
+        info = generate_trace_file(args.kind, out, n_tasks=args.tasks,
+                                   seed=args.seed)
+    except ReproError as exc:
+        print(f"trace error: {exc}", file=sys.stderr)
+        return 2
+    print(f"generated {info.summary()}")
+    print(f"written to {out}")
+    return 0
+
+
+def _run_trace_info(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.workloads.traceio import read_trace
+
+    status = 0
+    for path in args.files:
+        try:
+            decoded = read_trace(path)
+        except (OSError, ReproError) as exc:
+            print(f"{path}: INVALID: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        header = decoded.header
+        print(f"{path}:")
+        print(f"  name         {header.name}")
+        print(f"  tasks        {header.n_tasks}")
+        print(f"  records      {decoded.n_records} "
+              f"({sum(len(t.ops) for t in decoded.tasks)} ops)")
+        print(f"  bytes        {decoded.file_bytes}")
+        print(f"  digest       {decoded.digest}")
+        print(f"  priv region  [{header.priv_base:#x}, "
+              f"{header.priv_limit:#x})")
+        if header.description:
+            print(f"  description  {header.description}")
+        for key, value in header.meta:
+            print(f"  meta         {key} = {value}")
+    return status
+
+
+def _run_trace_convert(args: argparse.Namespace) -> int:
+    from repro.analysis.serialization import load_workload, save_workload
+    from repro.errors import ReproError
+    from repro.workloads.traceio import read_trace, write_trace
+
+    try:
+        if args.input.endswith(".json"):
+            workload = load_workload(args.input)
+            out = args.out or args.input[:-len(".json")] + ".tlstrace"
+            info = write_trace(out, workload,
+                               meta={"converted-from": args.input})
+            print(f"converted {info.summary()}")
+        else:
+            decoded = read_trace(args.input)
+            out = args.out or args.input + ".json"
+            save_workload(decoded.to_workload(), out)
+            print(f"converted {decoded.header.name}: "
+                  f"{decoded.header.n_tasks} tasks to workload JSON")
+        print(f"written to {out}")
+    except (OSError, ReproError) as exc:
+        print(f"trace error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _run_trace_verify(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.core.config import MACHINES
+    from repro.core.taxonomy import EVALUATED_SCHEMES
+    from repro.workloads.apps import APPLICATIONS
+    from repro.workloads.trace import (
+        render_verify_report,
+        verify_capture_replay,
+    )
+
+    if args.smoke:
+        apps = list(APPLICATIONS)
+        scale = 0.1
+    else:
+        apps = ([a.strip() for a in args.apps.split(",") if a.strip()]
+                if args.apps else list(APPLICATIONS))
+        scale = args.scale
+    unknown = [a for a in apps if a not in APPLICATIONS]
+    if unknown:
+        print(f"unknown application(s): {', '.join(unknown)}; "
+              f"known: {', '.join(APPLICATIONS)}", file=sys.stderr)
+        return 2
+    trace_dir = args.trace_dir or tempfile.mkdtemp(prefix="repro-tls-trace-")
+    report = verify_capture_replay(
+        MACHINES[args.machine], apps, EVALUATED_SCHEMES, trace_dir,
+        scale=scale, seed=args.seed,
+    )
+    print(render_verify_report(report))
+    if not report["passed"]:
+        print("replay digests drifted: either the trace round-trip lost "
+              "content or the engine changed without an ENGINE_VERSION "
+              "bump", file=sys.stderr)
+    return 0 if report["passed"] else 1
+
+
 _COMMANDS = ("run", "sweep", "bench", "validate", "report", "explore",
-             "list")
+             "trace", "list")
 
 _DESCRIPTION = (
     "Reproduce tables/figures from 'Tradeoffs in Buffering Memory State "
@@ -316,6 +501,9 @@ examples:
   repro-tls validate --smoke           # CI conformance gate
   repro-tls report --smoke             # build docs/report/index.html
   repro-tls explore --smoke            # design-space sweeps + frontier
+  repro-tls trace gen --kind squash-storm --out storm.tlstrace
+  repro-tls sweep --traces storm.tlstrace
+  repro-tls trace verify --smoke       # capture/replay bit-identity gate
 """
 
 
@@ -329,7 +517,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", metavar="command")
 
     p_list = sub.add_parser(
-        "list", help="enumerate experiments and commands")
+        "list", help="enumerate experiments, commands, and workloads")
+    p_list.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="also enumerate .tlstrace workloads in DIR "
+                             "(with per-trace header summaries)")
     p_list.set_defaults(func=_run_list)
 
     p_run = sub.add_parser(
@@ -380,6 +571,12 @@ examples:
     p_sweep.add_argument("--metrics", action="store_true",
                          help="attach the metrics hook and print "
                               "per-scheme aggregates")
+    p_sweep.add_argument("--traces", default=None, metavar="T1,T2,...",
+                         help="comma-separated .tlstrace files to sweep "
+                              "(replaces the app list unless --apps is "
+                              "also given)")
+    p_sweep.add_argument("--trace-dir", default=None, metavar="DIR",
+                         help="sweep every .tlstrace file in DIR")
     p_sweep.set_defaults(func=_run_sweep)
 
     p_bench = sub.add_parser(
@@ -505,6 +702,90 @@ examples:
     p_explore.add_argument("--out", default="docs/report",
                            help="output directory (default docs/report)")
     p_explore.set_defaults(func=_run_explore)
+
+    p_trace = sub.add_parser(
+        "trace", help="capture, generate, inspect, convert, and verify "
+                      ".tlstrace workloads",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+binary trace files (.tlstrace) replay arbitrary per-task memory
+reference streams through the same engine/runner/cache pipeline as the
+synthetic apps; a trace's content digest is its cache identity.
+
+examples:
+  repro-tls trace capture --app Apsi --out apsi.tlstrace
+  repro-tls trace gen --kind pointer-chase --tasks 64 --out chase.tlstrace
+  repro-tls trace info chase.tlstrace
+  repro-tls trace convert apsi.tlstrace --out apsi.json
+  repro-tls trace verify --smoke       # capture/replay bit-identity gate
+""")
+    tsub = p_trace.add_subparsers(dest="trace_command", metavar="subcommand")
+
+    t_capture = tsub.add_parser(
+        "capture", help="run a synthetic app and dump it as a trace")
+    t_capture.add_argument("--app", default="Apsi",
+                           help="application workload (default Apsi)")
+    t_capture.add_argument("--scheme", default="MultiT&MV Lazy AMM",
+                           help='scheme for the capture run (default '
+                                '"MultiT&MV Lazy AMM")')
+    t_capture.add_argument("--machine", default="numa16",
+                           choices=["numa16", "numa16-bigl2", "cmp8"],
+                           help="machine preset (default numa16)")
+    t_capture.add_argument("--seed", type=int, default=0,
+                           help="workload generation seed (default 0)")
+    t_capture.add_argument("--scale", type=float, default=1.0,
+                           help="workload scale factor (default 1.0)")
+    t_capture.add_argument("--out", default=None, metavar="FILE",
+                           help="output path (default <app>.tlstrace)")
+    t_capture.set_defaults(func=_run_trace_capture)
+
+    t_gen = tsub.add_parser(
+        "gen", help="generate an adversarial trace workload")
+    t_gen.add_argument("--kind", default="squash-storm",
+                       choices=["pointer-chase", "squash-storm", "hot-line"],
+                       help="generator (default squash-storm)")
+    t_gen.add_argument("--tasks", type=int, default=None,
+                       help="task count (default: generator-specific)")
+    t_gen.add_argument("--seed", type=int, default=0,
+                       help="generation seed (default 0)")
+    t_gen.add_argument("--out", default=None, metavar="FILE",
+                       help="output path (default <kind>.tlstrace)")
+    t_gen.set_defaults(func=_run_trace_gen)
+
+    t_info = tsub.add_parser(
+        "info", help="decode, verify, and summarize trace files")
+    t_info.add_argument("files", nargs="+", metavar="FILE",
+                        help=".tlstrace files to inspect")
+    t_info.set_defaults(func=_run_trace_info)
+
+    t_convert = tsub.add_parser(
+        "convert", help="convert between .tlstrace and workload JSON")
+    t_convert.add_argument("input", metavar="FILE",
+                           help="input file (.json converts to binary, "
+                                "anything else converts to JSON)")
+    t_convert.add_argument("--out", default=None, metavar="FILE",
+                           help="output path (default: derived from input)")
+    t_convert.set_defaults(func=_run_trace_convert)
+
+    t_verify = tsub.add_parser(
+        "verify", help="capture every app, replay the trace, assert "
+                       "bit-identity under all 8 schemes")
+    t_verify.add_argument("--apps", default=None, metavar="A,B,...",
+                          help="comma-separated applications (default: all)")
+    t_verify.add_argument("--machine", default="numa16",
+                          choices=["numa16", "numa16-bigl2", "cmp8"],
+                          help="machine preset (default numa16)")
+    t_verify.add_argument("--scale", type=float, default=0.1,
+                          help="workload scale factor (default 0.1)")
+    t_verify.add_argument("--seed", type=int, default=0,
+                          help="workload generation seed (default 0)")
+    t_verify.add_argument("--smoke", action="store_true",
+                          help="all apps at scale 0.1: the CI trace gate")
+    t_verify.add_argument("--trace-dir", default=None, metavar="DIR",
+                          help="directory for the captured traces "
+                               "(default: a fresh temp dir)")
+    t_verify.set_defaults(func=_run_trace_verify)
+    p_trace.set_defaults(func=lambda _a: (p_trace.print_help(), 2)[1])
 
     return parser
 

@@ -34,6 +34,20 @@ class WorkloadError(ReproError):
     """A workload description is malformed (bad ops, empty task list, ...)."""
 
 
+class TraceFormatError(WorkloadError):
+    """A ``.tlstrace`` file is malformed, truncated, or corrupt.
+
+    ``offset`` (when known) is the byte position in the file/buffer where
+    decoding failed, so a corrupt trace can be located with a hex editor.
+    """
+
+    def __init__(self, message: str, offset: int | None = None) -> None:
+        if offset is not None:
+            message = f"{message} (at byte offset {offset})"
+        super().__init__(message)
+        self.offset = offset
+
+
 class ProtocolError(SimulationError):
     """The speculative versioning protocol was driven out of its contract.
 

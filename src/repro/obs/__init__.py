@@ -14,7 +14,12 @@ changes a simulation's result (the bit-identity contract of
 * :mod:`repro.obs.report` — ``repro-tls report``: runs the paper's full
   machine x scheme grid and renders the self-contained HTML/Markdown
   reproduction report with figure analogues and headline-claim badges.
+* :mod:`repro.obs.capture` — :class:`TraceCaptureHook` dumps the
+  workload a run executed to a binary ``.tlstrace`` file on completion
+  (``trace.capture.*`` counters; zero per-event overhead).
 """
+
+from repro.obs.capture import TraceCaptureHook
 
 from repro.obs.metrics import (
     Histogram,
@@ -40,6 +45,7 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "TaskMetrics",
+    "TraceCaptureHook",
     "aggregate_by_scheme",
     "build_report",
     "evaluate_claims",

@@ -1,0 +1,57 @@
+"""Trace capture: dump the workload a simulation executed as a trace file.
+
+:class:`TraceCaptureHook` rides the :mod:`repro.core.hooks` observation
+interface — it overrides only :meth:`on_finish`, so a capturing run pays
+nothing per event and stays bit-identical to an uncaptured one (the
+differential tests in ``tests/test_trace_replay.py`` hold it to that).
+On completion it encodes the run's workload to the binary ``.tlstrace``
+format (:mod:`repro.workloads.traceio`), stamps provenance metadata
+(machine, scheme) into the header, and publishes capture counters in the
+``trace.capture.*`` namespace alongside the other observability
+counters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.core.hooks import SimulationHook
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.core.engine import Simulation
+    from repro.core.results import SimulationResult
+    from repro.workloads.traceio import TraceInfo
+
+
+class TraceCaptureHook(SimulationHook):
+    """Write the simulated workload to ``path`` when the run completes.
+
+    After the run, :attr:`info` holds the written trace's
+    :class:`~repro.workloads.traceio.TraceInfo` (header, content digest,
+    record/byte counts) and :attr:`counters` the flat
+    ``trace.capture.*`` counter dict the CLI and metrics aggregation
+    print.
+    """
+
+    def __init__(self, path: Any,
+                 meta: Mapping[str, str] | None = None) -> None:
+        self.path = str(path)
+        self.meta = dict(meta or {})
+        self.info: "TraceInfo | None" = None
+        self.counters: dict[str, int] = {}
+
+    def on_finish(self, sim: "Simulation",
+                  result: "SimulationResult") -> None:
+        """Encode ``sim.workload`` to the trace file and count the bytes."""
+        from repro.workloads.traceio import write_trace
+
+        meta = dict(self.meta)
+        meta.setdefault("captured-from",
+                        f"{result.machine_name}/{result.scheme.name}")
+        self.info = write_trace(self.path, sim.workload, meta=meta)
+        self.counters = {
+            "trace.capture.tasks": self.info.header.n_tasks,
+            "trace.capture.records": self.info.n_records,
+            "trace.capture.ops": self.info.n_ops,
+            "trace.capture.bytes": self.info.file_bytes,
+        }

@@ -2,8 +2,10 @@
 
 A :class:`SimJob` carries everything needed to execute one simulation —
 the machine, the scheme (or ``None`` for the sequential baseline), the
-workload (either a regenerable :class:`WorkloadSpec` or an explicit
-:class:`~repro.workloads.base.Workload`), and the engine options. Jobs
+workload (a regenerable :class:`WorkloadSpec`, a content-addressed
+:class:`~repro.workloads.trace.TraceWorkload` trace reference, or an
+explicit :class:`~repro.workloads.base.Workload`), and the engine
+options. Jobs
 are picklable, so the sweep runner can ship them to worker processes,
 and they serialize to a canonical JSON form whose SHA-256 digest is the
 content address of the result in the on-disk cache.
@@ -24,6 +26,7 @@ from repro.core.config import MachineConfig
 from repro.core.engine import ENGINE_VERSION
 from repro.core.taxonomy import Scheme
 from repro.workloads.base import Workload
+from repro.workloads.trace import TraceWorkload
 
 
 @dataclass(frozen=True)
@@ -57,10 +60,19 @@ def _generate_cached(spec: WorkloadSpec) -> Workload:
     return spec.generate()
 
 
-def _workload_fingerprint(workload: WorkloadSpec | Workload) -> dict[str, Any]:
-    """Canonical JSON-ready identity of the job's workload."""
+def _workload_fingerprint(
+    workload: WorkloadSpec | TraceWorkload | Workload,
+) -> dict[str, Any]:
+    """Canonical JSON-ready identity of the job's workload.
+
+    Trace workloads are identified by their verified *content digest*
+    (never the filename), so two encodings of the same trace share one
+    cache entry and any edit to the trace content misses.
+    """
     if isinstance(workload, WorkloadSpec):
         return {"kind": "spec", **asdict(workload)}
+    if isinstance(workload, TraceWorkload):
+        return workload.fingerprint()
     from repro.analysis.serialization import workload_to_dict
 
     return {"kind": "explicit", **workload_to_dict(workload)}
@@ -75,7 +87,7 @@ class SimJob:
     """
 
     machine: MachineConfig
-    workload: WorkloadSpec | Workload
+    workload: WorkloadSpec | TraceWorkload | Workload
     scheme: Scheme | None = None
     high_level_patterns: bool = False
     violation_granularity: str = "word"
@@ -101,7 +113,7 @@ class SimJob:
         cls,
         machines: "Sequence[MachineConfig]",
         schemes: "Sequence[Scheme | None]",
-        workloads: "Sequence[WorkloadSpec | Workload]",
+        workloads: "Sequence[WorkloadSpec | TraceWorkload | Workload]",
         **options: Any,
     ) -> "list[SimJob]":
         """The full (machine x scheme x workload) cartesian job grid.
@@ -122,9 +134,11 @@ class SimJob:
         ]
 
     def resolve_workload(self) -> Workload:
-        """The concrete workload for this job (generated if needed)."""
+        """The concrete workload for this job (generated/loaded if needed)."""
         if isinstance(self.workload, WorkloadSpec):
             return _generate_cached(self.workload)
+        if isinstance(self.workload, TraceWorkload):
+            return self.workload.resolve()
         return self.workload
 
     @property

@@ -1,4 +1,4 @@
-"""Synthetic workloads modeling the paper's seven applications."""
+"""Workloads: synthetic paper applications and trace-driven replay."""
 
 from repro.workloads.apps import (
     APPLICATION_ORDER,
@@ -8,12 +8,54 @@ from repro.workloads.apps import (
     generate_workload,
 )
 from repro.workloads.base import Workload
+from repro.workloads.trace import (
+    TRACE_GENERATORS,
+    TraceWorkload,
+    discover_traces,
+    generate_trace_file,
+    generate_trace_workload,
+    hot_line_reduction,
+    pointer_chase,
+    squash_storm,
+    verify_capture_replay,
+)
+from repro.workloads.traceio import (
+    TRACE_SUFFIX,
+    DecodedTrace,
+    TraceHeader,
+    TraceInfo,
+    decode_trace,
+    encode_trace,
+    peek_trace,
+    read_trace,
+    trace_digest,
+    write_trace,
+)
 
 __all__ = [
     "APPLICATIONS",
     "APPLICATION_ORDER",
     "ApplicationProfile",
+    "DecodedTrace",
     "PaperCharacteristics",
+    "TRACE_GENERATORS",
+    "TRACE_SUFFIX",
+    "TraceHeader",
+    "TraceInfo",
+    "TraceWorkload",
     "Workload",
+    "decode_trace",
+    "discover_traces",
+    "encode_trace",
+    "generate_trace_file",
+    "generate_trace_workload",
     "generate_workload",
+    "hot_line_reduction",
+    "peek_trace",
+    "pointer_chase",
+    "read_trace",
+    "squash_storm",
+    "trace_digest",
+    "verify_capture_replay",
+    "write_trace",
 ]

@@ -1,0 +1,451 @@
+"""Binary ``.tlstrace`` I/O: a compact, versioned memory-trace format.
+
+A trace file stores one :class:`~repro.workloads.base.Workload` as a
+header plus per-task streams of ``(op, addr, size)`` records:
+
+======  ========  =====================================================
+offset  size      field
+======  ========  =====================================================
+0       8         magic ``b"TLSTRACE"``
+8       2         format version (little-endian u16, currently 1)
+10      2         flags (u16, must be 0 in version 1)
+12      4         header length ``H`` (u32)
+16      H         header JSON (UTF-8, compact, sorted keys)
+--      --        ``n_tasks`` task frames, each:
+                  u32 task id | u32 record count | u32 payload length |
+                  zlib-compressed packed records
+--      8         footer magic ``b"TLSTEND."``
+--      32        SHA-256 content digest (see :func:`trace_digest`)
+======  ========  =====================================================
+
+Each packed record is 13 bytes, ``struct '<BQI'``: op kind (u8), address
+(u64), size (u32). ``OP_COMPUTE`` records carry the instruction count in
+the *address* field (size must be 0, so arbitrarily long bursts fit);
+``OP_READ``/``OP_WRITE`` records cover ``size`` consecutive word
+addresses starting at ``addr`` — the encoder coalesces ascending runs,
+and the decoder expands them back, so record framing is a compression
+detail, not content.
+
+The **content digest** is computed over the canonical logical content —
+the header fields plus every task's fully expanded op stream — *not*
+over the file bytes. Re-encoding a decoded trace (even with different
+record coalescing) therefore preserves the digest, which is what lets
+the digest serve as the trace's identity in the simulation result cache
+(:mod:`repro.runner.jobs`). Decoding verifies the stored digest against
+the recomputed one, so corruption can never change the decoded content
+silently: a flipped byte either fails to parse, fails the digest check,
+or (deflate padding bits) decodes to the identical content. Anything
+that does not parse raises
+:class:`~repro.errors.TraceFormatError` with the failing byte offset.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.errors import TraceFormatError
+from repro.tls.task import OP_COMPUTE, OP_READ, OP_WRITE, Operation, TaskSpec
+from repro.workloads.base import Workload
+
+#: Canonical file extension of binary trace files.
+TRACE_SUFFIX = ".tlstrace"
+
+MAGIC = b"TLSTRACE"
+FOOTER_MAGIC = b"TLSTEND."
+FORMAT_VERSION = 1
+
+_PREAMBLE = struct.Struct("<8sHHI")  # magic, version, flags, header length
+_FRAME = struct.Struct("<III")       # task id, record count, payload length
+_RECORD = struct.Struct("<BQI")      # op, addr, size
+_DIGEST_TASK = struct.Struct("<QI")  # task id, op count (digest input)
+_DIGEST_OP = struct.Struct("<BQ")    # op kind, value (digest input)
+
+#: Maximum words one READ/WRITE record may span. Generous for any real
+#: run (runs this long never occur), tight enough that a corrupt size
+#: field cannot balloon decoding into gigabytes before the digest check.
+MAX_RECORD_SPAN = 1 << 20
+
+_MAX_U32 = (1 << 32) - 1
+_MAX_U64 = (1 << 64) - 1
+
+#: Domain-separation prefix of the content digest.
+_DIGEST_SEED = b"repro-tls-trace-content-v1\n"
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """Decoded trace header: the workload identity minus the op streams."""
+
+    name: str
+    priv_base: int
+    priv_limit: int
+    n_tasks: int
+    description: str = ""
+    #: Free-form provenance pairs (generator parameters, capture source).
+    meta: tuple[tuple[str, str], ...] = ()
+
+    def canonical_json(self) -> bytes:
+        """The canonical header bytes hashed into the content digest."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "description": self.description,
+                "priv_base": self.priv_base,
+                "priv_limit": self.priv_limit,
+                "meta": {k: v for k, v in self.meta},
+            },
+            sort_keys=True, separators=(",", ":"), ensure_ascii=False,
+        ).encode()
+
+
+@dataclass(frozen=True)
+class TraceInfo:
+    """Summary of one trace file (for ``trace info`` and capture stats)."""
+
+    header: TraceHeader
+    digest: str
+    n_records: int
+    n_ops: int
+    file_bytes: int
+
+    def summary(self) -> str:
+        """One-line human-readable description."""
+        return (
+            f"{self.header.name}: {self.header.n_tasks} tasks, "
+            f"{self.n_ops} ops in {self.n_records} records, "
+            f"{self.file_bytes} bytes, digest {self.digest[:12]}"
+        )
+
+
+@dataclass(frozen=True)
+class DecodedTrace:
+    """A fully decoded, digest-verified trace."""
+
+    header: TraceHeader
+    tasks: tuple[TaskSpec, ...]
+    digest: str
+    n_records: int
+    file_bytes: int
+
+    def to_workload(self) -> Workload:
+        """The workload this trace replays."""
+        return Workload(
+            name=self.header.name,
+            tasks=self.tasks,
+            priv_predicate_base=self.header.priv_base,
+            priv_predicate_limit=self.header.priv_limit,
+            description=self.header.description,
+        )
+
+    @property
+    def info(self) -> TraceInfo:
+        """The :class:`TraceInfo` summary of this decoded trace."""
+        return TraceInfo(
+            header=self.header, digest=self.digest,
+            n_records=self.n_records,
+            n_ops=sum(len(t.ops) for t in self.tasks),
+            file_bytes=self.file_bytes,
+        )
+
+
+# ----------------------------------------------------------------------
+# Content digest
+# ----------------------------------------------------------------------
+def _digest_of(header: TraceHeader,
+               tasks: Iterable[TaskSpec]) -> str:
+    """SHA-256 hex digest of the canonical logical trace content."""
+    h = hashlib.sha256(_DIGEST_SEED)
+    h.update(header.canonical_json())
+    task_pack = _DIGEST_TASK.pack
+    op_pack = _DIGEST_OP.pack
+    for task in tasks:
+        ops = task.ops
+        h.update(task_pack(task.task_id, len(ops)))
+        h.update(b"".join(op_pack(kind, value) for kind, value in ops))
+    return h.hexdigest()
+
+
+def trace_digest(workload: Workload,
+                 meta: Mapping[str, str] | None = None) -> str:
+    """Content digest a trace of ``workload`` (with ``meta``) would carry."""
+    return _digest_of(_header_of(workload, meta), workload.tasks)
+
+
+def _header_of(workload: Workload,
+               meta: Mapping[str, str] | None) -> TraceHeader:
+    pairs = tuple(sorted((meta or {}).items()))
+    return TraceHeader(
+        name=workload.name,
+        priv_base=workload.priv_predicate_base,
+        priv_limit=workload.priv_predicate_limit,
+        n_tasks=workload.n_tasks,
+        description=workload.description,
+        meta=pairs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def _pack_records(ops: tuple[Operation, ...]) -> tuple[bytes, int]:
+    """Coalesce one task's ops into packed records.
+
+    Ascending same-kind address runs become one ``(op, addr, size)``
+    record (capped at :data:`MAX_RECORD_SPAN` words); compute bursts are
+    one record each with the instruction count in the address field.
+    Returns ``(packed bytes, record count)``.
+    """
+    out: list[bytes] = []
+    pack = _RECORD.pack
+    run_kind = -1
+    run_addr = 0
+    run_len = 0
+
+    def flush() -> None:
+        nonlocal run_len
+        if run_len:
+            out.append(pack(run_kind, run_addr, run_len))
+            run_len = 0
+
+    for kind, value in ops:
+        if value < 0 or value > _MAX_U64:
+            raise TraceFormatError(
+                f"op value {value} does not fit the trace format")
+        if kind == OP_COMPUTE:
+            flush()
+            out.append(pack(OP_COMPUTE, value, 0))
+        elif kind in (OP_READ, OP_WRITE):
+            if (run_len and kind == run_kind
+                    and value == run_addr + run_len
+                    and run_len < MAX_RECORD_SPAN):
+                run_len += 1
+            else:
+                flush()
+                run_kind = kind
+                run_addr = value
+                run_len = 1
+        else:
+            raise TraceFormatError(f"op kind {kind} is not encodable")
+    flush()
+    return b"".join(out), len(out)
+
+
+def encode_trace(workload: Workload,
+                 meta: Mapping[str, str] | None = None) -> bytes:
+    """Serialize ``workload`` to the binary trace format."""
+    header = _header_of(workload, meta)
+    header_blob = json.dumps(
+        {
+            "name": header.name,
+            "description": header.description,
+            "priv_base": header.priv_base,
+            "priv_limit": header.priv_limit,
+            "n_tasks": header.n_tasks,
+            "meta": {k: v for k, v in header.meta},
+        },
+        sort_keys=True, separators=(",", ":"), ensure_ascii=False,
+    ).encode()
+    parts = [_PREAMBLE.pack(MAGIC, FORMAT_VERSION, 0, len(header_blob)),
+             header_blob]
+    for task in workload.tasks:
+        payload, n_records = _pack_records(task.ops)
+        compressed = zlib.compress(payload, 6)
+        parts.append(_FRAME.pack(task.task_id, n_records, len(compressed)))
+        parts.append(compressed)
+    parts.append(FOOTER_MAGIC)
+    parts.append(bytes.fromhex(_digest_of(header, workload.tasks)))
+    return b"".join(parts)
+
+
+def write_trace(path: Any, workload: Workload,
+                meta: Mapping[str, str] | None = None) -> TraceInfo:
+    """Write ``workload`` to ``path`` as a binary trace; returns its info."""
+    blob = encode_trace(workload, meta)
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    header = _header_of(workload, meta)
+    n_records = sum(_pack_records(task.ops)[1] for task in workload.tasks)
+    return TraceInfo(
+        header=header,
+        digest=_digest_of(header, workload.tasks),
+        n_records=n_records,
+        n_ops=sum(len(t.ops) for t in workload.tasks),
+        file_bytes=len(blob),
+    )
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+def _parse_header(data: bytes) -> tuple[TraceHeader, int]:
+    """Parse the preamble + header JSON; returns (header, frames offset)."""
+    if len(data) < _PREAMBLE.size:
+        raise TraceFormatError("truncated before the trace preamble",
+                               offset=len(data))
+    magic, version, flags, header_len = _PREAMBLE.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r}", offset=0)
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(f"unsupported trace format version {version}",
+                               offset=8)
+    if flags != 0:
+        raise TraceFormatError(f"unsupported flags {flags:#06x}", offset=10)
+    start = _PREAMBLE.size
+    end = start + header_len
+    if end > len(data):
+        raise TraceFormatError("truncated inside the header", offset=start)
+    try:
+        raw = json.loads(data[start:end].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceFormatError(f"unparseable header JSON: {exc}",
+                               offset=start) from None
+    try:
+        meta = raw.get("meta", {})
+        if not (isinstance(meta, dict)
+                and all(isinstance(k, str) and isinstance(v, str)
+                        for k, v in meta.items())):
+            raise TraceFormatError("header meta must map strings to strings",
+                                   offset=start)
+        header = TraceHeader(
+            name=str(raw["name"]),
+            priv_base=int(raw["priv_base"]),
+            priv_limit=int(raw["priv_limit"]),
+            n_tasks=int(raw["n_tasks"]),
+            description=str(raw.get("description", "")),
+            meta=tuple(sorted(meta.items())),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(f"bad header field: {exc!r}",
+                               offset=start) from None
+    if header.n_tasks < 1:
+        raise TraceFormatError(
+            f"trace declares {header.n_tasks} tasks; need at least 1",
+            offset=start)
+    return header, end
+
+
+def _expand_records(payload: bytes, n_records: int,
+                    offset: int) -> tuple[Operation, ...]:
+    """Expand one frame's packed records back into the task's op stream."""
+    if len(payload) != n_records * _RECORD.size:
+        raise TraceFormatError(
+            f"frame payload is {len(payload)} bytes for {n_records} "
+            f"records of {_RECORD.size}", offset=offset)
+    ops: list[Operation] = []
+    for kind, addr, size in _RECORD.iter_unpack(payload):
+        if kind == OP_COMPUTE:
+            if size != 0:
+                raise TraceFormatError(
+                    f"compute record carries size {size}; must be 0",
+                    offset=offset)
+            ops.append((OP_COMPUTE, addr))
+        elif kind in (OP_READ, OP_WRITE):
+            if size < 1:
+                raise TraceFormatError(
+                    "memory record spans zero words", offset=offset)
+            if size > MAX_RECORD_SPAN:
+                raise TraceFormatError(
+                    f"memory record spans {size} words "
+                    f"(cap {MAX_RECORD_SPAN})", offset=offset)
+            if addr + size - 1 > _MAX_U64:
+                raise TraceFormatError(
+                    "memory record run overflows the address space",
+                    offset=offset)
+            op = OP_READ if kind == OP_READ else OP_WRITE
+            ops.extend((op, addr + i) for i in range(size))
+        else:
+            raise TraceFormatError(f"unknown op kind {kind}", offset=offset)
+    return tuple(ops)
+
+
+def decode_trace(data: bytes) -> DecodedTrace:
+    """Decode and digest-verify a binary trace buffer."""
+    header, offset = _parse_header(data)
+    footer_size = len(FOOTER_MAGIC) + 32
+    tasks: list[TaskSpec] = []
+    n_records = 0
+    for index in range(header.n_tasks):
+        if offset + _FRAME.size > len(data):
+            raise TraceFormatError(
+                f"truncated at task frame {index}", offset=offset)
+        task_id, count, payload_len = _FRAME.unpack_from(data, offset)
+        if task_id != index:
+            raise TraceFormatError(
+                f"task frame {index} carries id {task_id}; ids must be "
+                f"dense and ordered", offset=offset)
+        offset += _FRAME.size
+        if offset + payload_len > len(data):
+            raise TraceFormatError(
+                f"truncated inside task {index}'s payload", offset=offset)
+        try:
+            payload = zlib.decompress(data[offset:offset + payload_len])
+        except zlib.error as exc:
+            raise TraceFormatError(
+                f"task {index} payload fails to decompress: {exc}",
+                offset=offset) from None
+        ops = _expand_records(payload, count, offset)
+        n_records += count
+        tasks.append(TaskSpec(task_id=task_id, ops=ops))
+        offset += payload_len
+    if offset + footer_size > len(data):
+        raise TraceFormatError("truncated before the footer", offset=offset)
+    if data[offset:offset + len(FOOTER_MAGIC)] != FOOTER_MAGIC:
+        raise TraceFormatError("bad footer magic", offset=offset)
+    stored = data[offset + len(FOOTER_MAGIC):offset + footer_size].hex()
+    if offset + footer_size != len(data):
+        raise TraceFormatError(
+            f"{len(data) - offset - footer_size} trailing bytes after "
+            f"the footer", offset=offset + footer_size)
+    computed = _digest_of(header, tasks)
+    if stored != computed:
+        raise TraceFormatError(
+            f"content digest mismatch: stored {stored[:12]}..., "
+            f"computed {computed[:12]}...",
+            offset=offset + len(FOOTER_MAGIC))
+    return DecodedTrace(
+        header=header, tasks=tuple(tasks), digest=computed,
+        n_records=n_records, file_bytes=len(data),
+    )
+
+
+def read_trace(path: Any) -> DecodedTrace:
+    """Read and digest-verify the binary trace at ``path``."""
+    with open(path, "rb") as handle:
+        return decode_trace(handle.read())
+
+
+def peek_trace(path: Any) -> TraceInfo:
+    """Header + stored digest of a trace without expanding its records.
+
+    Skips over frame payloads instead of decompressing them, so listing a
+    trace directory stays cheap. The stored digest is *not* verified —
+    :func:`read_trace` (which every simulation path goes through) is the
+    verifying reader.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    header, offset = _parse_header(data)
+    n_records = 0
+    for index in range(header.n_tasks):
+        if offset + _FRAME.size > len(data):
+            raise TraceFormatError(
+                f"truncated at task frame {index}", offset=offset)
+        _task_id, count, payload_len = _FRAME.unpack_from(data, offset)
+        n_records += count
+        offset += _FRAME.size + payload_len
+    footer_size = len(FOOTER_MAGIC) + 32
+    if offset + footer_size > len(data):
+        raise TraceFormatError("truncated before the footer", offset=offset)
+    if data[offset:offset + len(FOOTER_MAGIC)] != FOOTER_MAGIC:
+        raise TraceFormatError("bad footer magic", offset=offset)
+    stored = data[offset + len(FOOTER_MAGIC):offset + footer_size].hex()
+    return TraceInfo(
+        header=header, digest=stored, n_records=n_records,
+        n_ops=-1,  # unknown without expansion
+        file_bytes=len(data),
+    )

@@ -26,6 +26,7 @@ from repro.core.taxonomy import (
     MULTI_T_MV_LAZY,
     SINGLE_T_EAGER,
 )
+from repro.workloads.base import Workload
 from repro.runner import (
     MemoryResultCache,
     ResultCache,
@@ -400,3 +401,96 @@ def test_chunked_pool_dispatch_is_bit_identical_to_serial(tmp_path):
     pooled = SweepRunner(jobs=2, cache=None, chunk_size=2).run_many(batch)
     for a, b in zip(serial, pooled):
         assert canonical_result_bytes(a) == canonical_result_bytes(b)
+
+
+# ----------------------------------------------------------------------
+# Trace workloads: content-addressed identity in the result cache
+# ----------------------------------------------------------------------
+def _trace_job(path, scheme=MULTI_T_MV_LAZY):
+    from repro.workloads import TraceWorkload
+
+    return SimJob(machine=NUMA_16, workload=TraceWorkload.open(path),
+                  scheme=scheme)
+
+
+def _write_storm(path, *, extra_op=False):
+    from repro.tls.task import OP_READ, TaskSpec
+    from repro.workloads import squash_storm, write_trace
+
+    workload = squash_storm(24, seed=7)
+    if extra_op:
+        last = workload.tasks[-1]
+        tasks = workload.tasks[:-1] + (
+            TaskSpec(task_id=last.task_id,
+                     ops=last.ops + ((OP_READ, 0x42),)),)
+        workload = Workload(
+            name=workload.name, tasks=tasks,
+            priv_predicate_base=workload.priv_predicate_base,
+            priv_predicate_limit=workload.priv_predicate_limit,
+            description=workload.description)
+    return write_trace(path, workload, meta={"generator": "squash-storm",
+                                             "seed": "7"})
+
+
+def test_trace_identity_is_content_not_filename(tmp_path):
+    # Identical content under two different filenames: one cache entry.
+    _write_storm(tmp_path / "a.tlstrace")
+    _write_storm(tmp_path / "copy-of-a.tlstrace")
+    job_a = _trace_job(tmp_path / "a.tlstrace")
+    job_b = _trace_job(tmp_path / "copy-of-a.tlstrace")
+    assert job_a.cache_key() == job_b.cache_key()
+
+    cache = ResultCache(tmp_path / "cache")
+    runner = SweepRunner(jobs=1, cache=cache)
+    first = runner.run(job_a)
+    hits_before = runner.memory_cache.stats.hits
+    second = runner.run(job_b)  # different file, same content: a hit
+    assert runner.memory_cache.stats.hits == hits_before + 1
+    assert canonical_result_bytes(first) == canonical_result_bytes(second)
+
+
+def test_one_op_edit_misses_the_cache(tmp_path):
+    _write_storm(tmp_path / "a.tlstrace")
+    _write_storm(tmp_path / "b.tlstrace", extra_op=True)
+    job_a = _trace_job(tmp_path / "a.tlstrace")
+    job_b = _trace_job(tmp_path / "b.tlstrace")
+    assert job_a.workload.digest != job_b.workload.digest
+    assert job_a.cache_key() != job_b.cache_key()
+    # And the scheme still differentiates jobs over one trace.
+    assert (job_a.cache_key()
+            != _trace_job(tmp_path / "a.tlstrace",
+                          scheme=MULTI_T_MV_EAGER).cache_key())
+
+
+def test_warm_cache_trace_replay_is_bit_identical(tmp_path):
+    _write_storm(tmp_path / "a.tlstrace")
+    job = _trace_job(tmp_path / "a.tlstrace")
+    cold = SweepRunner(jobs=1, cache=None).run(job)
+    cache = ResultCache(tmp_path / "cache")
+    SweepRunner(jobs=1, cache=cache).run(job)  # populate disk tier
+    warm_runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path / "cache"))
+    warm = warm_runner.run(job)
+    assert warm_runner.cache.stats.hits == 1
+    assert canonical_result_bytes(warm) == canonical_result_bytes(cold)
+
+
+def test_trace_job_survives_the_process_pool(tmp_path):
+    _write_storm(tmp_path / "a.tlstrace")
+    job = _trace_job(tmp_path / "a.tlstrace")
+    serial = SweepRunner(jobs=1, cache=None).run(job)
+    pooled = SweepRunner(jobs=2, cache=None, chunk_size=1).run_many(
+        [job, SimJob(machine=NUMA_16, workload=job.workload,
+                     scheme=MULTI_T_MV_EAGER)])
+    assert canonical_result_bytes(pooled[0]) == canonical_result_bytes(serial)
+
+
+def test_stale_trace_reference_is_refused(tmp_path):
+    from repro.errors import TraceFormatError
+    from repro.workloads.trace import _DECODED
+
+    _write_storm(tmp_path / "a.tlstrace")
+    job = _trace_job(tmp_path / "a.tlstrace")
+    _write_storm(tmp_path / "a.tlstrace", extra_op=True)  # edited on disk
+    _DECODED.clear()  # force re-read: the memo would otherwise serve it
+    with pytest.raises(TraceFormatError, match="changed on disk"):
+        job.resolve_workload()

@@ -1,0 +1,159 @@
+"""Differential capture -> replay bit-identity: the trace-frontend oracle.
+
+The headline contract of the trace subsystem: capturing a synthetic
+app's workload to a ``.tlstrace`` file and replaying that file through
+the engine reproduces ``canonical_result_bytes`` **byte for byte** under
+every evaluated buffering scheme — while the synthetic job and the
+replay job deliberately occupy *different* cache entries (a replayed
+trace must never poison the synthetic grid's cache, or vice versa).
+
+Also held here: the capture hook's zero-perturbation contract (a run
+that captures is bit-identical to one that does not) and the three
+adversarial generators running end-to-end with the squash behaviour
+they were designed to provoke.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.serialization import canonical_result_bytes
+from repro.core.config import NUMA_16
+from repro.core.engine import Simulation
+from repro.core.taxonomy import EVALUATED_SCHEMES, MULTI_T_MV_LAZY
+from repro.obs.capture import TraceCaptureHook
+from repro.runner import SimJob, SweepRunner, WorkloadSpec
+from repro.workloads import (
+    APPLICATION_ORDER,
+    TraceWorkload,
+    generate_trace_file,
+    hot_line_reduction,
+    pointer_chase,
+    squash_storm,
+    verify_capture_replay,
+)
+
+SCALE = 0.1  # keeps the full 7-app x 8-scheme grid under ~10 s
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SweepRunner(jobs=1, cache=None)
+
+
+# ----------------------------------------------------------------------
+# The full differential grid: every app x every scheme
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def grid_report(tmp_path_factory):
+    trace_dir = tmp_path_factory.mktemp("traces")
+    return verify_capture_replay(
+        NUMA_16, APPLICATION_ORDER, EVALUATED_SCHEMES, trace_dir,
+        scale=SCALE, seed=0,
+    )
+
+
+def test_grid_covers_every_app_and_scheme(grid_report):
+    cells = grid_report["cells"]
+    assert len(cells) == len(APPLICATION_ORDER) * len(EVALUATED_SCHEMES)
+    assert {c.app for c in cells} == set(APPLICATION_ORDER)
+    assert ({c.scheme for c in cells}
+            == {s.name for s in EVALUATED_SCHEMES})
+
+
+def test_every_replay_is_byte_identical(grid_report):
+    bad = [c for c in grid_report["cells"] if not c.ok]
+    assert not bad, f"replay diverged in {len(bad)} cells: " + ", ".join(
+        f"{c.app}/{c.scheme}" for c in bad)
+    assert grid_report["passed"]
+
+
+def test_synthetic_and_trace_jobs_never_share_cache_entries(grid_report):
+    for cell in grid_report["cells"]:
+        assert cell.synthetic_key != cell.trace_key, (
+            f"{cell.app}/{cell.scheme}: a trace replay and its synthetic "
+            f"twin collided on one cache key")
+
+
+# ----------------------------------------------------------------------
+# Capture-hook purity
+# ----------------------------------------------------------------------
+def test_capture_hook_is_a_pure_observer(tmp_path):
+    workload = WorkloadSpec("Euler", scale=SCALE).generate()
+    plain = Simulation(NUMA_16, MULTI_T_MV_LAZY, workload).run()
+    hook = TraceCaptureHook(tmp_path / "euler.tlstrace")
+    captured = Simulation(NUMA_16, MULTI_T_MV_LAZY, workload,
+                          hook=hook).run()
+    assert canonical_result_bytes(captured) == canonical_result_bytes(plain)
+    assert hook.info is not None
+    assert hook.counters["trace.capture.tasks"] == workload.n_tasks
+    assert hook.counters["trace.capture.bytes"] > 0
+
+
+def test_capture_stamps_provenance(tmp_path):
+    path = tmp_path / "euler.tlstrace"
+    hook = TraceCaptureHook(path, meta={"scale": str(SCALE)})
+    Simulation(NUMA_16, MULTI_T_MV_LAZY,
+               WorkloadSpec("Euler", scale=SCALE).generate(),
+               hook=hook).run()
+    meta = dict(hook.info.header.meta)
+    assert meta["scale"] == str(SCALE)
+    assert meta["captured-from"] == f"{NUMA_16.name}/{MULTI_T_MV_LAZY.name}"
+
+
+# ----------------------------------------------------------------------
+# Adversarial generators, end to end
+# ----------------------------------------------------------------------
+def _replay(runner, workload_file):
+    trace = TraceWorkload.open(workload_file)
+    return runner.run(SimJob(machine=NUMA_16, workload=trace,
+                             scheme=MULTI_T_MV_LAZY))
+
+
+def test_pointer_chase_end_to_end(runner, tmp_path):
+    path = tmp_path / "chase.tlstrace"
+    info = generate_trace_file("pointer-chase", path, n_tasks=32)
+    assert info.header.n_tasks == 32
+    result = _replay(runner, path)
+    # Committed-producer links: irregular loads, but no misspeculation.
+    assert result.violation_events == 0
+    assert result.total_cycles > 0
+
+
+def test_squash_storm_provokes_squashes(runner, tmp_path):
+    path = tmp_path / "storm.tlstrace"
+    generate_trace_file("squash-storm", path, n_tasks=48)
+    result = _replay(runner, path)
+    assert result.violation_events > 0, (
+        "a squash storm that squashes nothing is not a storm")
+
+
+def test_hot_line_reduction_serializes(runner, tmp_path):
+    path = tmp_path / "hot.tlstrace"
+    generate_trace_file("hot-line", path, n_tasks=48)
+    result = _replay(runner, path)
+    assert result.violation_events > 0
+
+
+def test_generators_are_deterministic_in_their_seed():
+    from repro.workloads import trace_digest
+
+    assert (trace_digest(squash_storm(24, seed=3))
+            == trace_digest(squash_storm(24, seed=3)))
+    assert (trace_digest(squash_storm(24, seed=3))
+            != trace_digest(squash_storm(24, seed=4)))
+    assert (trace_digest(pointer_chase(8, seed=1))
+            != trace_digest(pointer_chase(8, seed=2)))
+    assert (trace_digest(hot_line_reduction(8, seed=1))
+            != trace_digest(hot_line_reduction(8, seed=2)))
+
+
+def test_generator_traces_replay_bit_identically(runner, tmp_path):
+    # The differential contract holds for generated traces too: replaying
+    # the same file twice (fresh TraceWorkload each time) is bit-stable.
+    path = tmp_path / "storm.tlstrace"
+    generate_trace_file("squash-storm", path, n_tasks=32)
+    first = _replay(runner, path)
+    second = _replay(runner, path)
+    assert (canonical_result_bytes(first)
+            == canonical_result_bytes(second))
