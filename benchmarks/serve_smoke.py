@@ -1,0 +1,190 @@
+"""CI smoke driver for the ``repro-tls serve`` frontend.
+
+Boots a real service (``ServiceThread``) in-process against a temporary
+sharded cache directory and drives it through the blocking
+``ServiceClient`` exactly as an external consumer would:
+
+1. liveness + cache-stats shape;
+2. a smoke sweep (2 apps x 2 schemes, scale 0.1) streamed to completion;
+3. digest identity: every cell fetched over HTTP is bit-identical to a
+   direct ``SweepRunner`` execution of the same job;
+4. stampede protection: two concurrent identical sweeps store each cell
+   exactly once;
+5. the warm path: median ``GET /v1/jobs/{key}`` latency over keep-alive,
+   gated against ``--latency-limit`` (default 1 ms — the acceptance
+   target on an idle host; CI passes a looser bound for runner noise).
+
+Writes the honest numbers to ``SERVE_smoke.json`` and exits non-zero on
+any failed check.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py [--latency-limit MS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+from repro.analysis.serialization import canonical_result_bytes
+from repro.service import ServiceClient, ServiceThread, SimulationService
+from repro.runner import SimJob, SweepRunner, WorkloadSpec
+from repro.core.config import MACHINES
+from repro.core.taxonomy import scheme_from_name
+
+SCALE = 0.1
+APPS = ("Euler", "Apsi")
+SCHEMES = ("MultiT&MV Lazy AMM", "SingleT Eager AMM")
+SWEEP_BODY = {"apps": list(APPS), "schemes": list(SCHEMES),
+              "seed": 0, "scale": SCALE, "machine": "numa16"}
+WARM_SAMPLES = 200
+
+
+def check(passed: bool, label: str, failures: list[str]) -> None:
+    """Record one named pass/fail check."""
+    print(f"  {'ok  ' if passed else 'FAIL'} {label}")
+    if not passed:
+        failures.append(label)
+
+
+def run_smoke(latency_limit_ms: float, output: str) -> int:
+    """Execute every serve-smoke check; returns the exit status."""
+    failures: list[str] = []
+    report: dict = {"scale": SCALE, "apps": APPS, "schemes": SCHEMES}
+
+    cache_dir = tempfile.mkdtemp(prefix="serve-smoke-cache-")
+    service = SimulationService(cache_dir=cache_dir, jobs=4)
+    server = ServiceThread(service).start()
+    client = ServiceClient(server.base_url)
+    try:
+        print("serve-smoke: frontend at", server.base_url)
+        check(client.health().get("status") == "ok", "healthz", failures)
+
+        # -- sweep submission + streamed completion --------------------
+        started = time.perf_counter()
+        sweep = client.submit_sweep(SWEEP_BODY)
+        events = list(client.stream_events(sweep["sweep_id"]))
+        sweep_seconds = time.perf_counter() - started
+        terminal = events[-1]
+        landed = {e["key"] for e in events if e.get("event") == "result"}
+        check(terminal.get("status") == "done",
+              "sweep reaches 'done'", failures)
+        check(landed == set(sweep["keys"]),
+              "every cell streams a completion event", failures)
+        report["sweep"] = {
+            "cells": sweep["total"], "seconds": round(sweep_seconds, 3),
+            "sources": sorted({e["source"] for e in events
+                               if e.get("event") == "result"}),
+        }
+
+        # -- digest identity against direct execution ------------------
+        direct_runner = SweepRunner(jobs=1, cache=None)
+        identical = 0
+        for app in APPS:
+            for scheme_name in SCHEMES:
+                job = SimJob(
+                    machine=MACHINES["numa16"],
+                    workload=WorkloadSpec(app, seed=0, scale=SCALE),
+                    scheme=scheme_from_name(scheme_name),
+                )
+                envelope = client.get_job(job.cache_key())
+                served = ServiceClient.result_from_envelope(envelope)
+                direct = direct_runner.run(job)
+                if (canonical_result_bytes(served)
+                        == canonical_result_bytes(direct)):
+                    identical += 1
+        check(identical == len(APPS) * len(SCHEMES),
+              "served results bit-identical to direct execution",
+              failures)
+        report["digest_identity"] = {
+            "cells": len(APPS) * len(SCHEMES), "identical": identical,
+        }
+
+        # -- concurrent identical sweeps compute once ------------------
+        body = dict(SWEEP_BODY, seed=4242)
+        before = client.cache_stats()["shared"]["stores"]
+        outcomes: list[str] = []
+
+        def drain() -> None:
+            c = ServiceClient(server.base_url)
+            try:
+                s = c.submit_sweep(body)
+                outcomes.append(
+                    list(c.stream_events(s["sweep_id"]))[-1]["status"])
+            finally:
+                c.close()
+
+        threads = [threading.Thread(target=drain) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stores = client.cache_stats()["shared"]["stores"] - before
+        cells = len(APPS) * len(SCHEMES)
+        check(outcomes == ["done", "done"] and stores == cells,
+              f"concurrent identical sweeps store {cells} cells once "
+              f"(stored {stores})", failures)
+        report["single_flight"] = {"cells": cells, "stores": stores,
+                                   "singleflight":
+                                   client.cache_stats()["singleflight"]}
+
+        # -- warm-path latency -----------------------------------------
+        key = sweep["keys"][0]
+        client.get_job(key)  # prime the connection and the memory tier
+        samples = []
+        for _ in range(WARM_SAMPLES):
+            t0 = time.perf_counter()
+            envelope = client.get_job(key)
+            samples.append((time.perf_counter() - t0) * 1e3)
+        median = statistics.median(samples)
+        p95 = sorted(samples)[int(len(samples) * 0.95)]
+        check(envelope["source"] == "memory",
+              "warm lookups served from the memory tier", failures)
+        check(median < latency_limit_ms,
+              f"warm GET median {median:.3f} ms < {latency_limit_ms} ms",
+              failures)
+        report["warm_latency_ms"] = {
+            "median": round(median, 3), "p95": round(p95, 3),
+            "samples": WARM_SAMPLES, "limit": latency_limit_ms,
+        }
+
+        report["cache_stats"] = client.cache_stats()
+        report["cache_stats"].pop("_status", None)
+    finally:
+        client.close()
+        server.stop()
+
+    report["passed"] = not failures
+    report["failures"] = failures
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"serve-smoke report written to {output}")
+    if failures:
+        print(f"serve-smoke FAILED: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print("serve-smoke passed")
+    return 0
+
+
+def main() -> int:
+    """Parse arguments and run the smoke checks."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--latency-limit", type=float, default=1.0,
+                        metavar="MS",
+                        help="warm-GET median gate in milliseconds "
+                             "(default 1.0; CI uses a looser bound)")
+    parser.add_argument("--output", default="SERVE_smoke.json",
+                        help="report path (default SERVE_smoke.json)")
+    args = parser.parse_args()
+    return run_smoke(args.latency_limit, args.output)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

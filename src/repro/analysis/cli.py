@@ -18,6 +18,9 @@ Commands (each has its own ``--help`` with examples):
 * ``repro-tls trace`` — ``capture|gen|info|convert|verify``: binary
   ``.tlstrace`` workloads (capture synthetic runs, generate adversarial
   streams, verify capture->replay bit-identity).
+* ``repro-tls serve`` — the HTTP/JSON simulation service (async job and
+  sweep submission, streaming progress, warm cached lookups); ``sweep
+  --server URL`` routes a sweep through a running frontend.
 
 ``--smoke`` (on ``bench``/``validate``/``report``) means: small
 workloads at scale 0.1, a fixed two-app subset where applicable,
@@ -106,6 +109,51 @@ def _sweep_trace_workloads(args: argparse.Namespace) -> list:
     return [TraceWorkload.open(path) for path in paths]
 
 
+def _sweep_via_server(args: argparse.Namespace) -> "list | int":
+    """Route ``sweep --server URL`` through a service frontend.
+
+    Returns the reconstructed (and digest-verified) results, or an exit
+    status on refusal. Progress events stream to stdout as they land.
+    """
+    from repro.service import ServiceClient, ServiceClientError
+
+    if getattr(args, "traces", None) or getattr(args, "trace_dir", None):
+        print("--server sweeps accept synthetic apps only: trace files "
+              "live on this machine, not the server", file=sys.stderr)
+        return 2
+    request: dict = {"machine": args.machine, "seed": args.seed,
+                     "scale": args.scale, "collect_metrics": args.metrics}
+    if args.apps:
+        request["apps"] = [a.strip() for a in args.apps.split(",")
+                           if a.strip()]
+    if args.schemes:
+        request["schemes"] = [s.strip() for s in args.schemes.split(",")
+                              if s.strip()]
+    client = ServiceClient(args.server)
+    try:
+        sweep = client.submit_sweep(request)
+        for event in client.stream_events(sweep["sweep_id"]):
+            if event.get("event") == "result":
+                print(f"[{event['done']}/{event['total']}] "
+                      f"{event['source']:<9} {event['key'][:16]}")
+            elif (event.get("event") == "end"
+                    and event.get("status") != "done"):
+                print(f"sweep failed on the server: "
+                      f"{event.get('error', 'unknown error')}",
+                      file=sys.stderr)
+                return 1
+        results = [
+            ServiceClient.result_from_envelope(client.get_job(key))
+            for key in sweep["keys"]
+        ]
+    except ServiceClientError as exc:
+        print(f"server error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    return results
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     from repro.core.config import MACHINES
     from repro.core.taxonomy import EVALUATED_SCHEMES, scheme_from_name
@@ -113,40 +161,46 @@ def _run_sweep(args: argparse.Namespace) -> int:
     from repro.runner import ResultCache, SimJob, SweepRunner, WorkloadSpec
     from repro.workloads.apps import APPLICATIONS
 
-    try:
-        traces = _sweep_trace_workloads(args)
-    except ReproError as exc:
-        print(f"trace error: {exc}", file=sys.stderr)
-        return 2
-    if args.apps or not traces:
-        apps = ([a.strip() for a in args.apps.split(",") if a.strip()]
-                if args.apps else list(APPLICATIONS))
+    runner = None
+    if args.server:
+        results = _sweep_via_server(args)
+        if isinstance(results, int):
+            return results
     else:
-        apps = []  # traces only, unless apps were requested explicitly
-    unknown = [a for a in apps if a not in APPLICATIONS]
-    if unknown:
-        print(f"unknown application(s): {', '.join(unknown)}; "
-              f"known: {', '.join(APPLICATIONS)}", file=sys.stderr)
-        return 2
-    if args.schemes:
-        schemes = [scheme_from_name(s.strip())
-                   for s in args.schemes.split(",") if s.strip()]
-    else:
-        schemes = list(EVALUATED_SCHEMES)
+        try:
+            traces = _sweep_trace_workloads(args)
+        except ReproError as exc:
+            print(f"trace error: {exc}", file=sys.stderr)
+            return 2
+        if args.apps or not traces:
+            apps = ([a.strip() for a in args.apps.split(",") if a.strip()]
+                    if args.apps else list(APPLICATIONS))
+        else:
+            apps = []  # traces only, unless apps were requested explicitly
+        unknown = [a for a in apps if a not in APPLICATIONS]
+        if unknown:
+            print(f"unknown application(s): {', '.join(unknown)}; "
+                  f"known: {', '.join(APPLICATIONS)}", file=sys.stderr)
+            return 2
+        if args.schemes:
+            schemes = [scheme_from_name(s.strip())
+                       for s in args.schemes.split(",") if s.strip()]
+        else:
+            schemes = list(EVALUATED_SCHEMES)
 
-    machine = MACHINES[args.machine]
-    runner = SweepRunner(
-        jobs=args.jobs,
-        cache=None if args.no_cache else ResultCache(),
-    )
-    workloads = [WorkloadSpec(app, seed=args.seed, scale=args.scale)
-                 for app in apps] + traces
-    jobs = [
-        SimJob(machine=machine, workload=workload,
-               scheme=scheme, collect_metrics=args.metrics)
-        for workload in workloads for scheme in schemes
-    ]
-    results = runner.run_many(jobs)
+        machine = MACHINES[args.machine]
+        runner = SweepRunner(
+            jobs=args.jobs,
+            cache=None if args.no_cache else ResultCache(),
+        )
+        workloads = [WorkloadSpec(app, seed=args.seed, scale=args.scale)
+                     for app in apps] + traces
+        jobs = [
+            SimJob(machine=machine, workload=workload,
+                   scheme=scheme, collect_metrics=args.metrics)
+            for workload in workloads for scheme in schemes
+        ]
+        results = runner.run_many(jobs)
     for result in results:
         print(result.summary())
     if args.metrics:
@@ -161,10 +215,30 @@ def _run_sweep(args: argparse.Namespace) -> int:
             print(f"{name:<24} squash events {squashes:8,.0f} | "
                   f"overflow spills {spills:8,.0f} | "
                   f"directory lookups {lookups:10,.0f}")
-    if runner.cache is not None:
+    if runner is not None and runner.cache is not None:
         stats = runner.cache.stats
         print(f"\ncache: {stats.hits} hits, {stats.misses} misses, "
               f"{stats.stores} stores")
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import SimulationService, serve_forever
+
+    service = SimulationService(
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        workers=args.workers,
+        use_disk=not args.no_cache,
+    )
+    try:
+        asyncio.run(serve_forever(service, args.host, args.port))
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        service.close()
     return 0
 
 
@@ -315,7 +389,7 @@ def _run_list(args: argparse.Namespace) -> int:
         print(f"  {name}")
     print("commands:")
     for command in ("run", "sweep", "bench", "validate", "report",
-                    "explore", "trace"):
+                    "explore", "trace", "serve"):
         print(f"  {command}")
     print("applications (synthetic registry):")
     for name, profile in APPLICATIONS.items():
@@ -483,7 +557,7 @@ def _run_trace_verify(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = ("run", "sweep", "bench", "validate", "report", "explore",
-             "trace", "list")
+             "trace", "serve", "list")
 
 _DESCRIPTION = (
     "Reproduce tables/figures from 'Tradeoffs in Buffering Memory State "
@@ -504,6 +578,8 @@ examples:
   repro-tls trace gen --kind squash-storm --out storm.tlstrace
   repro-tls sweep --traces storm.tlstrace
   repro-tls trace verify --smoke       # capture/replay bit-identity gate
+  repro-tls serve --port 8321          # HTTP/JSON simulation service
+  repro-tls sweep --server http://127.0.0.1:8321 --apps Euler
 """
 
 
@@ -577,6 +653,11 @@ examples:
                               "also given)")
     p_sweep.add_argument("--trace-dir", default=None, metavar="DIR",
                          help="sweep every .tlstrace file in DIR")
+    p_sweep.add_argument("--server", default=None, metavar="URL",
+                         help="route the sweep through a running "
+                              "'repro-tls serve' frontend (e.g. "
+                              "http://127.0.0.1:8321); results are "
+                              "digest-verified locally")
     p_sweep.set_defaults(func=_run_sweep)
 
     p_bench = sub.add_parser(
@@ -786,6 +867,43 @@ examples:
                                "(default: a fresh temp dir)")
     t_verify.set_defaults(func=_run_trace_verify)
     p_trace.set_defaults(func=lambda _a: (p_trace.print_help(), 2)[1])
+
+    p_serve = sub.add_parser(
+        "serve", help="the HTTP/JSON simulation service frontend",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+an asyncio HTTP/JSON API (stdlib only) over the shared result-cache
+stack: POST /v1/jobs and /v1/sweeps submit content-addressed work,
+GET /v1/jobs/{key} serves warm results sub-millisecond from the memory
+tier, GET /v1/sweeps/{id}/events streams per-cell progress as JSON
+lines, and GET /v1/cache/stats exposes every tier's counters. identical
+submissions collapse into one computation (single-flight). see
+docs/service.md for the API reference.
+
+examples:
+  repro-tls serve                              # 127.0.0.1:8321
+  repro-tls serve --port 9000 --jobs 8         # wider compute pool
+  repro-tls serve --cache-dir /var/tmp/tls     # shared disk tier
+  repro-tls sweep --server http://127.0.0.1:8321 --apps Euler,Apsi
+  curl -s localhost:8321/v1/cache/stats
+""")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="TCP port (default 8321)")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="sharded disk-tier root (default: the "
+                              "standard per-user cache directory)")
+    p_serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes per sweep "
+                              "(default: os.cpu_count())")
+    p_serve.add_argument("--workers", type=int, default=8, metavar="N",
+                         help="concurrent sweep dispatch threads "
+                              "(default 8)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="serve from the in-memory tier only (no "
+                              "shared disk tier)")
+    p_serve.set_defaults(func=_run_serve)
 
     return parser
 

@@ -10,27 +10,43 @@ replay prior simulations instead of recomputing them. See
 from repro.runner.cache import (
     CACHE_ENV_VAR,
     DEFAULT_CACHE_DIR,
+    SHARD_PREFIX_LEN,
+    CacheBackend,
+    CacheStats,
+    DirectoryBackend,
     MemoryResultCache,
     ResultCache,
+    ShardedResultCache,
     default_cache_root,
+    shard_of,
 )
 from repro.runner.jobs import SimJob, WorkloadSpec
 from repro.runner.runner import (
     DEFAULT_CHUNK_SIZE,
+    PROGRESS_SOURCES,
     SweepRunner,
     default_jobs,
     execute_job,
     payload_from_result,
     result_from_payload,
 )
+from repro.runner.singleflight import SingleFlight, SingleFlightStats
 
 __all__ = [
     "CACHE_ENV_VAR",
+    "CacheBackend",
+    "CacheStats",
     "DEFAULT_CACHE_DIR",
     "DEFAULT_CHUNK_SIZE",
+    "DirectoryBackend",
     "MemoryResultCache",
+    "PROGRESS_SOURCES",
     "ResultCache",
+    "SHARD_PREFIX_LEN",
+    "ShardedResultCache",
     "SimJob",
+    "SingleFlight",
+    "SingleFlightStats",
     "SweepRunner",
     "WorkloadSpec",
     "default_cache_root",
@@ -38,4 +54,5 @@ __all__ = [
     "execute_job",
     "payload_from_result",
     "result_from_payload",
+    "shard_of",
 ]

@@ -1,4 +1,4 @@
-"""Content-addressed caches of simulation results (memory and disk tiers).
+"""Content-addressed caches of simulation results (memory and shard tiers).
 
 Entries are keyed by the SHA-256 digest of the job's canonical identity
 (machine config + scheme + workload fingerprint + engine options +
@@ -6,17 +6,25 @@ Entries are keyed by the SHA-256 digest of the job's canonical identity
 serialization of the result, so a cache replay reconstructs the exact
 :class:`~repro.core.results.SimulationResult` the original run produced.
 
-Two tiers:
+The stack is layered:
 
 * :class:`MemoryResultCache` — a bounded in-process LRU of serialized
   payload *bytes*. It stores bytes rather than decoded dicts because
   payload deserialization (:func:`~repro.runner.runner.result_from_payload`)
   mutates its input; handing every replay a fresh ``json.loads`` of the
   stored bytes keeps hits side-effect-free and bit-identical.
-* :class:`ResultCache` — the on-disk tier. Writes are atomic (temp file +
-  ``os.replace``), so concurrent sweep workers and unrelated processes can
-  share one cache directory safely; a corrupt or truncated entry is
-  treated as a miss and overwritten.
+* :class:`ShardedResultCache` — the shared tier: payload-level
+  load/store semantics over a pluggable :class:`CacheBackend` byte
+  store. The default :class:`DirectoryBackend` shards entries into
+  2-hex-prefix subdirectories (256 shards) with atomic writes, so
+  concurrent sweep workers, multiple service frontends, and unrelated
+  processes can all share one cache directory (local or NFS) safely; a
+  corrupt or truncated entry is treated as a miss and overwritten.
+  Alternative backends (an object store, a remote cache daemon) only
+  need the four :class:`CacheBackend` methods.
+* :class:`ResultCache` — the historical name for the directory-backed
+  shared tier; now a thin :class:`ShardedResultCache` subclass kept for
+  compatibility (``root``/``path_for`` preserved).
 """
 
 from __future__ import annotations
@@ -27,17 +35,32 @@ import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable, Protocol, runtime_checkable
 
 #: Environment variable overriding the default cache location.
 CACHE_ENV_VAR = "REPRO_TLS_CACHE"
 #: Default cache directory (relative to the current working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Width of the shard prefix: ``key[:SHARD_PREFIX_LEN]`` names the shard.
+#: Two hex characters give 256 shards, keeping any one directory small
+#: even for corpora of hundreds of thousands of entries. Part of the
+#: on-disk layout contract — changing it would orphan existing entries.
+SHARD_PREFIX_LEN = 2
+
 
 def default_cache_root() -> Path:
     """The cache directory honoring :data:`CACHE_ENV_VAR`."""
     return Path(os.environ.get(CACHE_ENV_VAR, DEFAULT_CACHE_DIR))
+
+
+def shard_of(key: str) -> str:
+    """The shard a key lives in (its first :data:`SHARD_PREFIX_LEN` chars).
+
+    Keys are SHA-256 hex digests, so the prefix distributes uniformly
+    across the 256 shards by construction.
+    """
+    return key[:SHARD_PREFIX_LEN]
 
 
 @dataclass
@@ -47,6 +70,11 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        """JSON-ready counter snapshot (for ``/v1/cache/stats``)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "evictions": self.evictions}
 
 
 #: Default entry bound for the in-memory tier. A full paper sweep is a
@@ -110,43 +138,68 @@ class MemoryResultCache:
         return len(self._entries)
 
 
-class ResultCache:
-    """A directory of content-addressed JSON result payloads."""
+# ----------------------------------------------------------------------
+# Pluggable shared-tier backends
+# ----------------------------------------------------------------------
+@runtime_checkable
+class CacheBackend(Protocol):
+    """Byte-store protocol behind :class:`ShardedResultCache`.
 
-    def __init__(self, root: str | Path | None = None) -> None:
-        self.root = Path(root) if root is not None else default_cache_root()
-        self.stats = CacheStats()
+    A backend maps content-address keys to opaque byte blobs. The
+    contract is deliberately small so a shared tier can be anything —
+    the default local/NFS directory layout, an object store, a remote
+    cache daemon — as long as:
+
+    * ``put`` is atomic per key (readers never observe a torn write);
+    * ``get`` returns ``None`` for anything absent or unreadable; and
+    * keys are opaque hex strings (backends may shard on
+      :func:`shard_of` but must not otherwise interpret them).
+    """
+
+    def get(self, key: str) -> bytes | None:
+        """The stored bytes for ``key``, or ``None`` on a miss."""
+        ...
+
+    def put(self, key: str, raw: bytes) -> None:
+        """Atomically persist ``raw`` under ``key`` (overwrite allowed)."""
+        ...
+
+    def keys(self) -> Iterable[str]:
+        """Every stored key (order unspecified)."""
+        ...
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key`` if present; returns whether it existed."""
+        ...
+
+
+class DirectoryBackend:
+    """The default :class:`CacheBackend`: a 2-hex-prefix sharded directory.
+
+    Entry ``<key>`` lives at ``<root>/<key[:2]>/<key>.json``; 256 shard
+    subdirectories keep listings fast at corpus scale, and the layout is
+    stable across releases so a warm directory can be mounted (NFS or
+    volume-shared) behind many service frontends at once. Writes are
+    atomic (temp file + ``os.replace`` within the shard), so concurrent
+    writers — pool workers, other hosts — can share the root safely.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
 
     def path_for(self, key: str) -> Path:
-        """Entry path, sharded by the first key byte to keep dirs small."""
-        return self.root / key[:2] / f"{key}.json"
+        """Entry path: ``<root>/<shard>/<key>.json``."""
+        return self.root / shard_of(key) / f"{key}.json"
 
-    # ------------------------------------------------------------------
-    def load(self, key: str) -> dict[str, Any] | None:
-        """The stored payload for ``key``, or ``None`` on a miss."""
-        path = self.path_for(key)
+    def get(self, key: str) -> bytes | None:
+        """Read an entry's bytes; any I/O problem is a miss."""
         try:
-            with open(path) as handle:
-                payload = json.load(handle)
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
-            self.stats.misses += 1
+            return self.path_for(key).read_bytes()
+        except OSError:
             return None
-        self.stats.hits += 1
-        return payload
 
-    def store(self, key: str, payload: dict[str, Any]) -> None:
-        """Atomically persist ``payload`` under ``key``."""
-        self.store_raw(
-            key, json.dumps(payload, separators=(",", ":")).encode()
-        )
-
-    def store_raw(self, key: str, raw: bytes) -> None:
-        """Atomically persist already-serialized JSON ``raw`` under ``key``.
-
-        Zero-copy path for the sweep runner, whose workers ship payloads
-        as serialized bytes: the bytes land on disk without a decode /
-        re-encode round trip.
-        """
+    def put(self, key: str, raw: bytes) -> None:
+        """Atomically write ``raw`` (temp file + rename in the shard)."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -161,21 +214,121 @@ class ResultCache:
                 pass
             raise
 
+    def keys(self) -> list[str]:
+        """Every stored key, by scanning the shard directories."""
+        if not self.root.exists():
+            return []
+        glob = "?" * SHARD_PREFIX_LEN + "/*.json"
+        return [path.stem for path in self.root.glob(glob)]
+
+    def delete(self, key: str) -> bool:
+        """Unlink one entry; missing or unremovable counts as absent."""
+        try:
+            self.path_for(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def describe(self) -> str:
+        """Human-readable backend location (for stats endpoints)."""
+        return f"directory:{self.root}"
+
+
+class ShardedResultCache:
+    """The shared result tier: payload semantics over a byte backend.
+
+    Speaks both decoded payload dicts (:meth:`load`/:meth:`store`) and
+    raw serialized bytes (:meth:`load_raw`/:meth:`store_raw` — the
+    zero-copy path the sweep runner and the service warm path use).
+    A corrupt entry (unreadable bytes or invalid JSON) is a miss; the
+    next store overwrites it. All hit/miss/store accounting lives here,
+    backend-independent.
+    """
+
+    def __init__(self, backend: CacheBackend) -> None:
+        self.backend = backend
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def load_raw(self, key: str) -> bytes | None:
+        """The stored payload bytes for ``key``, or ``None`` on a miss."""
+        raw = self.backend.get(key)
+        if raw is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return raw
+
+    def load(self, key: str) -> dict[str, Any] | None:
+        """The decoded payload for ``key``; invalid JSON is a miss."""
+        raw = self.backend.get(key)
+        if raw is not None:
+            try:
+                payload = json.loads(raw)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                payload = None
+            if isinstance(payload, dict):
+                self.stats.hits += 1
+                return payload
+        self.stats.misses += 1
+        return None
+
+    def store(self, key: str, payload: dict[str, Any]) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        self.store_raw(
+            key, json.dumps(payload, separators=(",", ":")).encode()
+        )
+
+    def store_raw(self, key: str, raw: bytes) -> None:
+        """Atomically persist already-serialized JSON ``raw`` under ``key``.
+
+        Zero-copy path for the sweep runner, whose workers ship payloads
+        as serialized bytes: the bytes land in the backend without a
+        decode / re-encode round trip.
+        """
+        self.backend.put(key, raw)
+        self.stats.stores += 1
+
+    # ------------------------------------------------------------------
+    def keys(self) -> list[str]:
+        """Every stored key (order unspecified)."""
+        return list(self.backend.keys())
+
     def __contains__(self, key: str) -> bool:
-        return self.path_for(key).exists()
+        return self.backend.get(key) is not None
 
     def __len__(self) -> int:
-        if not self.root.exists():
-            return 0
-        return sum(1 for _ in self.root.glob("??/*.json"))
+        return len(self.keys())
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0
-        for path in list(self.root.glob("??/*.json")):
-            try:
-                path.unlink()
+        for key in self.keys():
+            if self.backend.delete(key):
                 removed += 1
-            except OSError:
-                pass
         return removed
+
+    def describe(self) -> str:
+        """Human-readable tier description (for stats endpoints)."""
+        describe = getattr(self.backend, "describe", None)
+        if describe is not None:
+            return str(describe())
+        return type(self.backend).__name__
+
+
+class ResultCache(ShardedResultCache):
+    """The directory-backed shared tier under its historical name.
+
+    ``ResultCache(root)`` is exactly
+    ``ShardedResultCache(DirectoryBackend(root))`` with the ``root`` and
+    ``path_for`` accessors earlier releases exposed.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        root = Path(root) if root is not None else default_cache_root()
+        super().__init__(DirectoryBackend(root))
+        self.root = root
+
+    def path_for(self, key: str) -> Path:
+        """Entry path, sharded by the first key byte to keep dirs small."""
+        return self.backend.path_for(key)  # type: ignore[attr-defined]

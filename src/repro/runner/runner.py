@@ -32,16 +32,26 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 import zlib
-from concurrent.futures import Future, ProcessPoolExecutor
-from typing import Any, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Sequence
 
 from repro.baselines.sequential import SequentialResult, simulate_sequential
 from repro.core.engine import Simulation
 from repro.core.results import SimulationResult
 from repro.runner.cache import MemoryResultCache, ResultCache
 from repro.runner.jobs import SimJob
+from repro.runner.singleflight import SingleFlight
+
+#: Per-job completion callback: ``progress(key, source)`` where source is
+#: one of :data:`PROGRESS_SOURCES`. Called from the submitting thread.
+ProgressCallback = Callable[[str, str], None]
+
+#: Where a finished job's result came from, in the order ``run_many``
+#: resolves tiers: the in-process LRU, the shared (disk) tier, a live
+#: computation this call led, a concurrent caller's in-flight
+#: computation, or an uncacheable traced run.
+PROGRESS_SOURCES = ("memory", "disk", "computed", "inflight", "live")
 
 
 def execute_job(job: SimJob) -> SimulationResult | SequentialResult:
@@ -169,7 +179,8 @@ class SweepRunner:
     def __init__(self, jobs: int | None = None,
                  cache: ResultCache | None = None,
                  memory_cache: MemoryResultCache | None = None,
-                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 inflight_timeout: float | None = None) -> None:
         self.jobs = jobs if jobs is not None else default_jobs()
         if self.jobs < 1:
             self.jobs = 1
@@ -179,10 +190,14 @@ class SweepRunner:
         self.memory_cache = (memory_cache if memory_cache is not None
                              else MemoryResultCache())
         self.chunk_size = chunk_size
-        #: cache key -> Future[bytes] of a computation another run_many
-        #: call already owns; guarded by ``_inflight_lock``.
-        self._inflight: dict[str, Future[bytes]] = {}
-        self._inflight_lock = threading.Lock()
+        #: Bound on how long a ``run_many`` call waits for a computation
+        #: another caller leads (``None`` = forever). Service frontends
+        #: set this so a wedged leader turns into a timeout response
+        #: instead of a hung request.
+        self.inflight_timeout = inflight_timeout
+        #: Cross-caller stampede protection: one leader computes each
+        #: key, concurrent requesters join its flight.
+        self.flights = SingleFlight()
 
     # ------------------------------------------------------------------
     def run(self, job: SimJob) -> SimulationResult | SequentialResult:
@@ -191,24 +206,38 @@ class SweepRunner:
 
     def run_many(
         self, jobs: Sequence[SimJob],
+        progress: ProgressCallback | None = None,
     ) -> list[SimulationResult | SequentialResult]:
         """Execute a batch of jobs, returning results in input order.
 
         Duplicate jobs (same cache key) are computed once — including
         across *concurrent* ``run_many`` calls on this runner, which
-        share in-flight computations instead of repeating them. Lookup
-        order per distinct job: memory tier, then disk tier (promoting
-        hits into the memory tier), then live computation. Misses run in
-        a chunked process pool when the batch is larger than one chunk
-        and ``jobs > 1``, else serially in this process. Every freshly
-        computed result is stored back through both tiers.
+        join in-flight computations (:class:`~repro.runner.singleflight.\
+SingleFlight`) instead of repeating them. Lookup order per distinct job:
+        memory tier, then the shared (disk) tier — promoting hits into
+        the memory tier — then live computation. Misses run in a chunked
+        process pool when the batch is larger than one chunk and
+        ``jobs > 1``, else serially in this process. Every freshly
+        computed result is stored back through both tiers as soon as it
+        lands (not after the whole batch), so concurrent readers and
+        progress streams see cells the moment they finish.
+
+        ``progress``, when given, is called once per *distinct* job as
+        ``progress(key, source)`` with ``source`` one of
+        :data:`PROGRESS_SOURCES` — the hook the service layer rides to
+        stream per-cell completion.
         """
         by_key: dict[str, SimulationResult | SequentialResult] = {}
         keys = [job.cache_key() for job in jobs]
         pending: list[tuple[str, SimJob]] = []
-        owned: dict[str, Future[bytes]] = {}
-        waiting: dict[str, Future[bytes]] = {}
+        owned: dict[str, Any] = {}
+        waiting: dict[str, Any] = {}
         seen: set[str] = set()
+
+        def _notify(key: str, source: str) -> None:
+            if progress is not None:
+                progress(key, source)
+
         for key, job in zip(keys, jobs):
             if key in seen:
                 continue
@@ -217,61 +246,75 @@ class SweepRunner:
                 # A trace recorder lives only in this process: traced jobs
                 # run live and bypass every cache tier in both directions.
                 by_key[key] = execute_job(job)
+                _notify(key, "live")
                 continue
             raw = self.memory_cache.load(key)
             if raw is not None:
                 by_key[key] = result_from_payload(json.loads(raw))
+                _notify(key, "memory")
                 continue
             payload = self.cache.load(key) if self.cache is not None else None
             if payload is not None:
                 self.memory_cache.store(key, _encode_payload(payload))
                 by_key[key] = result_from_payload(payload)
+                _notify(key, "disk")
                 continue
-            with self._inflight_lock:
-                flight = self._inflight.get(key)
-                if flight is None:
-                    flight = Future()
-                    self._inflight[key] = flight
-                    owned[key] = flight
-                    pending.append((key, job))
-                else:
-                    waiting[key] = flight
+            flight, leader = self.flights.claim(key)
+            if leader:
+                owned[key] = flight
+                pending.append((key, job))
+            else:
+                waiting[key] = flight
 
         if pending:
+            def _landed(key: str, raw: bytes) -> None:
+                """One computed payload: store, publish, decode, notify."""
+                self.memory_cache.store(key, raw)
+                if self.cache is not None:
+                    self.cache.store_raw(key, raw)
+                by_key[key] = result_from_payload(json.loads(raw))
+                self.flights.resolve(key, owned[key], raw)
+                _notify(key, "computed")
+
             try:
-                for key, raw in self._compute(pending):
-                    self.memory_cache.store(key, raw)
-                    if self.cache is not None:
-                        self.cache.store_raw(key, raw)
-                        self.cache.stats.stores += 1
-                    by_key[key] = result_from_payload(json.loads(raw))
-                    owned[key].set_result(raw)
+                self._compute(pending, _landed)
             finally:
-                with self._inflight_lock:
-                    for key, flight in owned.items():
-                        if self._inflight.get(key) is flight:
-                            del self._inflight[key]
-                        if not flight.done():
-                            # _compute raised before reaching this key:
-                            # propagate the failure to any waiters.
-                            flight.set_exception(
-                                RuntimeError(f"computation of {key} aborted")
-                            )
+                # Idempotent sweep: any flight _compute never reached
+                # (it raised part-way) propagates the abort to joiners.
+                for key, flight in owned.items():
+                    self.flights.abandon(
+                        key, flight,
+                        RuntimeError(f"computation of {key} aborted"),
+                    )
 
         for key, flight in waiting.items():
-            by_key[key] = result_from_payload(json.loads(flight.result()))
+            raw = self.flights.wait(flight, self.inflight_timeout)
+            by_key[key] = result_from_payload(json.loads(raw))
+            _notify(key, "inflight")
 
         return [by_key[key] for key in keys]
 
     # ------------------------------------------------------------------
     def _compute(
         self, pending: list[tuple[str, SimJob]],
-    ) -> list[tuple[str, bytes]]:
-        """Execute the cache misses, returning (key, payload bytes) pairs.
+        on_result: Callable[[str, bytes], None],
+    ) -> None:
+        """Execute the cache misses, delivering (key, payload bytes) pairs
+        to ``on_result`` as each one lands.
 
         Serial fallback (no pool startup) when one worker is configured
-        or the batch fits in a single dispatch chunk.
+        or the batch fits in a single dispatch chunk. ``on_result`` is
+        called at most once per key: if the pool dies part-way through
+        collection and the serial fallback re-runs the batch, already
+        delivered keys are skipped.
         """
+        delivered: set[str] = set()
+
+        def _deliver(key: str, raw: bytes) -> None:
+            if key not in delivered:
+                delivered.add(key)
+                on_result(key, raw)
+
         if self.jobs > 1 and len(pending) > self.chunk_size:
             chunk_size = self.chunk_size
             job_list = [job for _key, job in pending]
@@ -281,18 +324,17 @@ class SweepRunner:
                 with ProcessPoolExecutor(
                     max_workers=min(self.jobs, len(chunks))
                 ) as pool:
-                    compressed = [
-                        pair
-                        for chunk_result in pool.map(_worker_chunk, chunks)
-                        for pair in chunk_result
-                    ]
-                return [(key, zlib.decompress(raw))
-                        for key, raw in compressed]
+                    for chunk_result in pool.map(_worker_chunk, chunks):
+                        for key, raw in chunk_result:
+                            _deliver(key, zlib.decompress(raw))
+                return
             except (OSError, ImportError):
                 # Pool creation can fail in constrained sandboxes
                 # (no /dev/shm, fork limits); fall back to serial.
                 pass
-        return [
-            (key, _encode_payload(payload_from_result(execute_job(job))))
-            for key, job in pending
-        ]
+        for key, job in pending:
+            if key in delivered:
+                continue
+            _deliver(
+                key, _encode_payload(payload_from_result(execute_job(job)))
+            )

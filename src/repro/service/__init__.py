@@ -1,0 +1,48 @@
+"""Simulation-as-a-service: the async HTTP/JSON API over the runner.
+
+``repro-tls serve`` wraps the existing engine/runner contracts — never a
+second semantics — in an asyncio frontend: content-addressed job and
+sweep submission, streaming per-cell progress, and warm-path result
+lookups served straight from the in-process memory tier over the shared
+sharded disk tier. See ``docs/service.md`` for the API reference and
+``docs/architecture.md`` for where the service sits in the stack.
+"""
+
+from repro.service.app import (
+    DEFAULT_INFLIGHT_TIMEOUT,
+    DEFAULT_WORKERS,
+    SimulationService,
+    SweepState,
+    canonical_payload_digest,
+)
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.http import (
+    ServiceThread,
+    bound_port,
+    serve_forever,
+    start_server,
+)
+from repro.service.schemas import (
+    MAX_SWEEP_CELLS,
+    ServiceError,
+    job_from_request,
+    jobs_from_sweep_request,
+)
+
+__all__ = [
+    "DEFAULT_INFLIGHT_TIMEOUT",
+    "DEFAULT_WORKERS",
+    "MAX_SWEEP_CELLS",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "ServiceThread",
+    "SimulationService",
+    "SweepState",
+    "bound_port",
+    "canonical_payload_digest",
+    "job_from_request",
+    "jobs_from_sweep_request",
+    "serve_forever",
+    "start_server",
+]

@@ -1,0 +1,101 @@
+"""Relative-link checker for the repository's Markdown documentation.
+
+Scans every tracked Markdown file for inline links and validates the
+*relative* ones (external ``http(s)://`` and ``mailto:`` targets are
+out of scope — CI must not depend on the network):
+
+* the target file must exist, resolved against the linking file's
+  directory; and
+* a ``#fragment`` must name a real heading in the target (GitHub-style
+  slugs: lowercased, punctuation stripped, spaces to hyphens).
+
+Exit status is the number of dead links, so CI fails on any. Run it
+from the repository root::
+
+    python tools/check_doc_links.py [files...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: The documentation surface checked by default (repo-root relative).
+DEFAULT_DOC_GLOBS = ("*.md", "docs/*.md")
+
+#: Generated artifacts excluded from checking (they are build outputs,
+#: not tracked documentation).
+EXCLUDED_PARTS = ("docs/report/",)
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """The GitHub anchor slug for a Markdown heading."""
+    text = re.sub(r"[*_`]|\[|\]|\(.*?\)", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """Every anchor a Markdown file defines (headings, GitHub slugs)."""
+    text = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for match in _HEADING.finditer(text):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Dead-link descriptions for one Markdown file."""
+    problems: list[str] = []
+    text = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        ref, _, fragment = target.partition("#")
+        if ref:
+            resolved = (path.parent / ref).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.relative_to(root)}: broken link "
+                                f"-> {target}")
+                continue
+        else:
+            resolved = path  # pure-fragment link into the same file
+        if fragment and resolved.suffix == ".md":
+            if fragment not in heading_slugs(resolved):
+                problems.append(f"{path.relative_to(root)}: dead anchor "
+                                f"-> {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Check the given files (default: the tracked documentation set)."""
+    root = Path.cwd()
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = sorted(
+            path for glob in DEFAULT_DOC_GLOBS for path in root.glob(glob)
+            if not any(part in str(path) for part in EXCLUDED_PARTS)
+        )
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} files: "
+          f"{len(problems)} dead link(s)")
+    return min(len(problems), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
