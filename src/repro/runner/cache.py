@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -41,6 +42,12 @@ from typing import Any, Iterable, Protocol, runtime_checkable
 CACHE_ENV_VAR = "REPRO_TLS_CACHE"
 #: Default cache directory (relative to the current working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Cache keys are opaque lowercase-hex strings (SHA-256 digests in
+#: practice). :class:`DirectoryBackend` enforces this before touching
+#: the filesystem so a hostile key (``../``, an absolute path) can never
+#: escape the cache root, whatever layer it arrived through.
+_SAFE_KEY_RE = re.compile(r"[0-9a-f]+")
 
 #: Width of the shard prefix: ``key[:SHARD_PREFIX_LEN]`` names the shard.
 #: Two hex characters give 256 shards, keeping any one directory small
@@ -188,14 +195,24 @@ class DirectoryBackend:
         self.root = Path(root)
 
     def path_for(self, key: str) -> Path:
-        """Entry path: ``<root>/<shard>/<key>.json``."""
+        """Entry path: ``<root>/<shard>/<key>.json``.
+
+        Raises :class:`ValueError` for anything but a lowercase-hex
+        key: path characters in a key would otherwise let the joined
+        path escape ``root`` (``..`` components, or a leading ``/``
+        making :class:`~pathlib.Path` discard the root outright).
+        """
+        if _SAFE_KEY_RE.fullmatch(key) is None:
+            raise ValueError(
+                f"invalid cache key {key!r}: keys are lowercase hex digests")
         return self.root / shard_of(key) / f"{key}.json"
 
     def get(self, key: str) -> bytes | None:
-        """Read an entry's bytes; any I/O problem is a miss."""
+        """Read an entry's bytes; any I/O problem — or an invalid,
+        path-shaped key — is a miss."""
         try:
             return self.path_for(key).read_bytes()
-        except OSError:
+        except (OSError, ValueError):
             return None
 
     def put(self, key: str, raw: bytes) -> None:
@@ -222,11 +239,12 @@ class DirectoryBackend:
         return [path.stem for path in self.root.glob(glob)]
 
     def delete(self, key: str) -> bool:
-        """Unlink one entry; missing or unremovable counts as absent."""
+        """Unlink one entry; missing, unremovable, or invalid-key
+        counts as absent."""
         try:
             self.path_for(key).unlink()
             return True
-        except OSError:
+        except (OSError, ValueError):
             return False
 
     def describe(self) -> str:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import json
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Sequence
@@ -44,6 +45,17 @@ DEFAULT_WORKERS = 8
 #: because a warm frontend's whole point is serving repeated lookups
 #: from process memory.
 DEFAULT_SERVICE_MEMORY_ENTRIES = 1024
+
+#: How many *finished* sweeps a frontend keeps around for late status /
+#: event-replay reads. Beyond this, the oldest finished sweeps (and
+#: their full event histories) are dropped so a long-running server's
+#: memory stays bounded; running sweeps are never pruned.
+MAX_FINISHED_SWEEPS = 256
+
+#: Bound on the key → canonical-digest memo. Entries are ~100 bytes, so
+#: this is generosity, not pressure — the point is that the memo cannot
+#: grow monotonically with distinct keys served.
+MAX_DIGEST_MEMO_ENTRIES = 4096
 
 
 def canonical_payload_digest(raw: bytes) -> str:
@@ -125,9 +137,10 @@ class SimulationService:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._sweeps: dict[str, SweepState] = {}
         self._sweep_seq = 0
-        #: key -> canonical digest, memoized so the warm lookup path
-        #: never re-decodes a payload it has digested before.
-        self._digests: dict[str, str] = {}
+        #: key -> canonical digest, memoized (bounded LRU) so the warm
+        #: lookup path never re-decodes a payload it has digested
+        #: recently.
+        self._digests: OrderedDict[str, str] = OrderedDict()
         self.counters: dict[str, int] = {
             "jobs.submitted": 0,
             "sweeps.submitted": 0,
@@ -173,11 +186,20 @@ class SimulationService:
         return None
 
     def digest_for(self, key: str, raw: bytes) -> str:
-        """The (memoized) canonical digest of ``key``'s payload."""
+        """The (memoized) canonical digest of ``key``'s payload.
+
+        The memo is a bounded LRU (:data:`MAX_DIGEST_MEMO_ENTRIES`):
+        a frontend serving an unbounded stream of distinct keys pays an
+        occasional re-digest instead of growing without limit.
+        """
         digest = self._digests.get(key)
         if digest is None:
             digest = canonical_payload_digest(raw)
             self._digests[key] = digest
+            if len(self._digests) > MAX_DIGEST_MEMO_ENTRIES:
+                self._digests.popitem(last=False)
+        else:
+            self._digests.move_to_end(key)
         return digest
 
     def envelope_bytes(self, key: str, source: str, raw: bytes,
@@ -297,6 +319,20 @@ class SimulationService:
         if error is not None:
             event["error"] = error
         self._append_event(state, event)
+        self._prune_finished_sweeps()
+
+    def _prune_finished_sweeps(self) -> None:
+        """Drop the oldest finished sweeps beyond the retention cap.
+
+        Runs on the event loop (so no locking); live ``stream_events``
+        subscribers hold the :class:`SweepState` object directly and
+        are unaffected — pruning only ends *new* lookups by id.
+        """
+        finished = [sweep_id for sweep_id, state in self._sweeps.items()
+                    if state.finished]
+        excess = len(finished) - MAX_FINISHED_SWEEPS
+        for sweep_id in finished[:max(0, excess)]:
+            del self._sweeps[sweep_id]
 
     def _append_event(self, state: SweepState,
                       event: dict[str, Any]) -> None:

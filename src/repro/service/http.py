@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import re
 import threading
 from typing import Any
 
@@ -40,7 +41,14 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 #: Request line + headers above this size are refused.
 MAX_HEADER_BYTES = 64 * 1024
 #: Idle keep-alive connections are closed after this many seconds.
+#: Also bounds how long a fresh connection may dribble its first
+#: request, so a silent client cannot hold a handler task forever.
 KEEPALIVE_TIMEOUT = 60.0
+
+#: Job keys on the wire must be full SHA-256 hex digests. Anything else
+#: is refused before it can reach a cache tier — path characters in a
+#: key must never make it to the directory backend.
+_JOB_KEY_RE = re.compile(r"[0-9a-f]{64}")
 
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
@@ -95,13 +103,17 @@ class _HttpRequest:
                                f"request body is not valid JSON: {exc}")
 
 
-async def _read_request(reader: asyncio.StreamReader,
-                        *, first: bool) -> _HttpRequest | None:
-    """Parse one request off the stream; ``None`` at a clean close."""
-    timeout = None if first else KEEPALIVE_TIMEOUT
+async def _read_request(
+        reader: asyncio.StreamReader) -> _HttpRequest | None:
+    """Parse one request off the stream; ``None`` at a clean close.
+
+    Every read — the first request included — is bounded by
+    :data:`KEEPALIVE_TIMEOUT`, so a connection that never sends (or
+    never finishes) a request is dropped rather than pinned open.
+    """
     try:
         head = await asyncio.wait_for(
-            reader.readuntil(b"\r\n\r\n"), timeout)
+            reader.readuntil(b"\r\n\r\n"), KEEPALIVE_TIMEOUT)
     except (asyncio.IncompleteReadError, ConnectionError,
             asyncio.TimeoutError):
         return None
@@ -129,6 +141,9 @@ async def _read_request(reader: asyncio.StreamReader,
     try:
         length = int(length_text)
     except ValueError:
+        raise ServiceError(400, "bad_request",
+                           f"bad Content-Length {length_text!r}")
+    if length < 0:
         raise ServiceError(400, "bad_request",
                            f"bad Content-Length {length_text!r}")
     if length > MAX_BODY_BYTES:
@@ -177,6 +192,13 @@ async def _route(service: SimulationService,
             raise ServiceError(405, "method_not_allowed",
                                f"{method} not allowed on {path}")
         key = path[len("/v1/jobs/"):]
+        if _JOB_KEY_RE.fullmatch(key) is None:
+            # Not a possible cache key (keys are SHA-256 hex digests);
+            # refusing here keeps traversal-shaped paths away from the
+            # cache tiers entirely.
+            raise ServiceError(404, "unknown_key",
+                               "job keys are 64-character lowercase hex "
+                               "digests")
         hit = service.lookup_raw(key)
         if hit is not None:
             source, raw = hit
@@ -193,6 +215,12 @@ async def _route(service: SimulationService,
         jobs = jobs_from_sweep_request(request.json())
         state = await service.submit_sweep(jobs)
         return 202, _json_body(state.to_dict())
+
+    if path.startswith("/v1/sweeps/") and path.endswith("/events"):
+        # GET streams never reach _route (handle_connection owns them),
+        # so anything landing here used the wrong method.
+        raise ServiceError(405, "method_not_allowed",
+                           f"{method} not allowed on {path}")
 
     if path.startswith("/v1/sweeps/") and not path.endswith("/events"):
         if method != "GET":
@@ -236,17 +264,15 @@ async def handle_connection(service: SimulationService,
                             reader: asyncio.StreamReader,
                             writer: asyncio.StreamWriter) -> None:
     """Serve one client connection (keep-alive) until it closes."""
-    first = True
     try:
         while True:
             try:
-                request = await _read_request(reader, first=first)
+                request = await _read_request(reader)
             except ServiceError as exc:
                 await _write_error(writer, exc)
                 return
             if request is None:
                 return
-            first = False
             if (request.method == "GET"
                     and request.path.startswith("/v1/sweeps/")
                     and request.path.endswith("/events")):

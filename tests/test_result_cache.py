@@ -52,6 +52,27 @@ def test_directory_layout_is_root_shard_key(tmp_path):
     assert cache.path_for(key) == tmp_path / "de" / f"{key}.json"
 
 
+def test_path_shaped_keys_cannot_escape_the_cache_root(tmp_path):
+    import pytest
+
+    backend = DirectoryBackend(tmp_path / "cache")
+    outside = tmp_path / "outside.json"
+    outside.write_text('{"kind":"sequential"}')
+    # A key carrying path components must be rejected outright — never
+    # resolved to a path outside the root (".." traversal, or a leading
+    # "/" making pathlib discard the root).
+    for key in ("../outside", "/" + str(outside.with_suffix("")),
+                "..", "aa/../../outside", "AA" + "0" * 62, ""):
+        with pytest.raises(ValueError, match="invalid cache key"):
+            backend.path_for(key)
+        with pytest.raises(ValueError, match="invalid cache key"):
+            backend.put(key, b"{}")
+        # Read paths degrade to a miss rather than traverse.
+        assert backend.get(key) is None
+        assert backend.delete(key) is False
+    assert outside.exists()  # nothing outside the root was touched
+
+
 def test_entries_land_in_their_shards_and_enumerate(tmp_path):
     backend = DirectoryBackend(tmp_path)
     keys = {f"{i:02x}" + "0" * 62 for i in (0x00, 0x7f, 0xff)}

@@ -269,6 +269,105 @@ def test_cache_stats_shape(client):
 
 
 # ----------------------------------------------------------------------
+# Hardening: hostile keys, hostile framing, bounded state
+# ----------------------------------------------------------------------
+def test_traversal_shaped_keys_are_refused(client):
+    # Anything that is not a 64-hex digest — path components included —
+    # must 404 before reaching a cache tier, not address the filesystem.
+    for key in ("../../../etc/passwd", "/etc/hostname", "..",
+                "deadbeef", "F" * 64, "f" * 63, "f" * 65):
+        error = _refused(client._request, "GET", f"/v1/jobs/{key}")
+        assert (error.status, error.code) == (404, "unknown_key"), key
+
+
+def _raw_exchange(server, payload: bytes) -> bytes:
+    import socket
+
+    with socket.create_connection(("127.0.0.1", server.port),
+                                  timeout=10) as sock:
+        sock.sendall(payload)
+        sock.settimeout(10)
+        chunks = []
+        while True:
+            data = sock.recv(4096)
+            if not data:
+                break
+            chunks.append(data)
+    return b"".join(chunks)
+
+
+def test_negative_content_length_is_a_structured_400(server):
+    raw = _raw_exchange(
+        server,
+        b"POST /v1/jobs HTTP/1.1\r\nHost: t\r\nContent-Length: -1\r\n\r\n")
+    assert raw.startswith(b"HTTP/1.1 400 ")
+    assert b'"bad_request"' in raw
+
+
+def test_silent_connection_is_dropped_after_timeout(server, monkeypatch):
+    from repro.service import http as http_module
+
+    monkeypatch.setattr(http_module, "KEEPALIVE_TIMEOUT", 0.2)
+    import socket
+
+    with socket.create_connection(("127.0.0.1", server.port),
+                                  timeout=10) as sock:
+        sock.settimeout(5)
+        # Send nothing: the server must close the connection rather
+        # than pin a handler task open forever.
+        assert sock.recv(4096) == b""
+
+
+def test_non_get_on_events_is_405(client):
+    error = _refused(client._request, "POST", "/v1/sweeps/s000001/events",
+                     {})
+    assert (error.status, error.code) == (405, "method_not_allowed")
+    error = _refused(client._request, "DELETE", "/v1/sweeps/zzz/events")
+    assert (error.status, error.code) == (405, "method_not_allowed")
+
+
+def test_digest_memo_is_a_bounded_lru(monkeypatch):
+    from repro.service import app as app_module
+
+    monkeypatch.setattr(app_module, "MAX_DIGEST_MEMO_ENTRIES", 8)
+    service = SimulationService(use_disk=False)
+    try:
+        raw = b'{"kind":"sequential","app":"X","total_cycles":1}'
+        digests = {service.digest_for(f"{i:064x}", raw)
+                   for i in range(32)}
+        assert len(service._digests) <= 8
+        # Evicted keys simply re-digest to the same value.
+        assert digests == {service.digest_for("0" * 64, raw)}
+    finally:
+        service.close()
+
+
+def test_finished_sweeps_are_pruned_but_running_ones_kept(monkeypatch):
+    from repro.service import app as app_module
+    from repro.service.app import SweepState
+
+    monkeypatch.setattr(app_module, "MAX_FINISHED_SWEEPS", 4)
+    service = SimulationService(use_disk=False)
+    try:
+        for i in range(10):
+            sweep_id = f"s{i:06d}"
+            service._sweeps[sweep_id] = SweepState(
+                sweep_id=sweep_id, keys=[], descriptions=[], total=0,
+                status="done")
+        service._sweeps["running"] = SweepState(
+            sweep_id="running", keys=[], descriptions=[], total=1)
+        service._prune_finished_sweeps()
+        finished = [s for s in service._sweeps.values() if s.finished]
+        assert len(finished) == 4
+        # Oldest finished dropped, newest kept, running untouched.
+        assert "s000000" not in service._sweeps
+        assert "s000009" in service._sweeps
+        assert "running" in service._sweeps
+    finally:
+        service.close()
+
+
+# ----------------------------------------------------------------------
 # Request validation (no server needed)
 # ----------------------------------------------------------------------
 def test_job_request_defaults():
