@@ -83,6 +83,18 @@ def run_smoke(latency_limit_ms: float, output: str) -> int:
                                if e.get("event") == "result"}),
         }
 
+        # -- which dispatcher served the sweep -------------------------
+        # Recorded so service benchmarks stay comparable across compute
+        # backends (local pool today, a worker fleet behind --dispatch
+        # fleet): a latency or wall-clock number is meaningless without
+        # knowing what executed the cells.
+        dispatch = client.cache_stats().get("dispatch")
+        check(isinstance(dispatch, dict) and bool(dispatch.get("backend")),
+              "cache stats name the dispatch backend", failures)
+        report["dispatcher"] = dispatch
+        report["sweep"]["dispatcher"] = (
+            dispatch.get("backend") if isinstance(dispatch, dict) else None)
+
         # -- digest identity against direct execution ------------------
         direct_runner = SweepRunner(jobs=1, cache=None)
         identical = 0

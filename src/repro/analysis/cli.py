@@ -21,6 +21,11 @@ Commands (each has its own ``--help`` with examples):
 * ``repro-tls serve`` — the HTTP/JSON simulation service (async job and
   sweep submission, streaming progress, warm cached lookups); ``sweep
   --server URL`` routes a sweep through a running frontend.
+* ``repro-tls worker`` — a fleet worker agent: connect to a sweep
+  coordinator, pull job chunks, push bit-identical result envelopes
+  (``sweep --dispatch fleet`` starts the coordinator side).
+* ``repro-tls cache`` — cache maintenance: ``stats`` and ``migrate``
+  (one-shot move of a pre-shard flat layout into ``<key[:2]>/`` shards).
 
 ``--smoke`` (on ``bench``/``validate``/``report``) means: small
 workloads at scale 0.1, a fixed two-app subset where applicable,
@@ -189,10 +194,16 @@ def _run_sweep(args: argparse.Namespace) -> int:
             schemes = list(EVALUATED_SCHEMES)
 
         machine = MACHINES[args.machine]
-        runner = SweepRunner(
-            jobs=args.jobs,
-            cache=None if args.no_cache else ResultCache(),
-        )
+        cache = None if args.no_cache else ResultCache()
+        dispatcher = None
+        if args.dispatch == "fleet":
+            dispatcher = _make_fleet_dispatcher(
+                args.fleet_bind, args.workers,
+                str(cache.root) if cache is not None else None)
+            print(f"fleet coordinator on {dispatcher.address} "
+                  f"({args.workers} local workers)")
+        runner = SweepRunner(jobs=args.jobs, cache=cache,
+                             dispatcher=dispatcher)
         workloads = [WorkloadSpec(app, seed=args.seed, scale=args.scale)
                      for app in apps] + traces
         jobs = [
@@ -200,7 +211,14 @@ def _run_sweep(args: argparse.Namespace) -> int:
                    scheme=scheme, collect_metrics=args.metrics)
             for workload in workloads for scheme in schemes
         ]
-        results = runner.run_many(jobs)
+        try:
+            results = runner.run_many(jobs)
+        except ReproError as exc:
+            print(f"sweep failed: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            if dispatcher is not None:
+                dispatcher.stop()
     for result in results:
         print(result.summary())
     if args.metrics:
@@ -222,16 +240,40 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_fleet_dispatcher(bind: str, workers: int,
+                           cache_dir: "str | None") -> "object":
+    """Start a coordinator + N localhost worker subprocesses.
+
+    The workers share ``cache_dir`` (when caching is on), so a fleet
+    sweep warms the same sharded tier a local sweep would.
+    """
+    from repro.dist import FleetDispatcher, parse_address
+
+    host, port = parse_address(bind)
+    dispatcher = FleetDispatcher(
+        host, port, min_workers=max(1, workers), local_workers=workers,
+        worker_cache_dir=cache_dir)
+    return dispatcher.start()
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.service import SimulationService, serve_forever
 
+    dispatcher = None
+    if args.dispatch == "fleet":
+        dispatcher = _make_fleet_dispatcher(
+            args.fleet_bind, args.fleet_workers,
+            None if args.no_cache else args.cache_dir)
+        print(f"fleet coordinator on {dispatcher.address} "
+              f"({args.fleet_workers} local workers)")
     service = SimulationService(
         cache_dir=args.cache_dir,
         jobs=args.jobs,
         workers=args.workers,
         use_disk=not args.no_cache,
+        dispatcher=dispatcher,
     )
     try:
         asyncio.run(serve_forever(service, args.host, args.port))
@@ -239,6 +281,59 @@ def _run_serve(args: argparse.Namespace) -> int:
         print("\nshutting down")
     finally:
         service.close()
+        if dispatcher is not None:
+            dispatcher.stop()
+    return 0
+
+
+def _run_worker(args: argparse.Namespace) -> int:
+    from repro.dist import WorkerAgent, WorkerRefusedError
+    from repro.errors import ReproError
+    from repro.runner import ResultCache
+
+    cache = None
+    if not args.no_cache:
+        cache = (ResultCache(args.cache_dir) if args.cache_dir
+                 else ResultCache())
+    agent = WorkerAgent(args.connect, cache=cache,
+                        connect_timeout=args.connect_timeout)
+    agent.install_signal_handlers()
+    try:
+        summary = agent.run()
+    except WorkerRefusedError as exc:
+        print(f"refused: {exc}", file=sys.stderr)
+        return 2
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"worker error: {exc}", file=sys.stderr)
+        return 2
+    print(f"worker {summary['worker_id']}: {summary['chunks']} chunks, "
+          f"{summary['jobs']} jobs ({summary['cache_hits']} cache hits)"
+          f"{', drained' if summary['drained'] else ''}")
+    return 0
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.runner import ResultCache
+    from repro.runner.cache import migrate_flat_layout
+
+    cache = (ResultCache(args.cache_dir) if args.cache_dir
+             else ResultCache())
+    if args.cache_command == "migrate":
+        counts = migrate_flat_layout(cache.root)
+        print(f"migrated {counts['migrated']} flat entries into shards "
+              f"({counts['skipped_existing']} already sharded, "
+              f"{counts['ignored']} non-entry files left alone)")
+        return 0
+    # stats (the default)
+    print(_json.dumps({
+        "backend": cache.describe(),
+        "entries": len(cache),
+        "flat_entries": sum(
+            1 for _ in cache.root.glob("*.json")) if cache.root.is_dir()
+        else 0,
+    }, indent=2))
     return 0
 
 
@@ -256,8 +351,14 @@ def _run_bench(args: argparse.Namespace) -> int:
         return 0
     report = run_bench(smoke=args.smoke, jobs=args.jobs, seed=args.seed,
                        output=args.bench_output,
-                       kernel_compare=args.compare_kernel)
+                       kernel_compare=args.compare_kernel,
+                       fleet=args.fleet)
     print(render_report(report))
+    dispatch = report.get("dispatch")
+    if dispatch is not None and not dispatch["byte_identical"]:
+        print("FAIL: fleet results differ from the serial path",
+              file=sys.stderr)
+        return 1
     if not report["determinism"]["bit_identical"]:
         print("FAIL: results differ across serial/pool/cache-replay",
               file=sys.stderr)
@@ -389,7 +490,7 @@ def _run_list(args: argparse.Namespace) -> int:
         print(f"  {name}")
     print("commands:")
     for command in ("run", "sweep", "bench", "validate", "report",
-                    "explore", "trace", "serve"):
+                    "explore", "trace", "serve", "worker", "cache"):
         print(f"  {command}")
     print("applications (synthetic registry):")
     for name, profile in APPLICATIONS.items():
@@ -557,7 +658,7 @@ def _run_trace_verify(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = ("run", "sweep", "bench", "validate", "report", "explore",
-             "trace", "serve", "list")
+             "trace", "serve", "worker", "cache", "list")
 
 _DESCRIPTION = (
     "Reproduce tables/figures from 'Tradeoffs in Buffering Memory State "
@@ -580,6 +681,9 @@ examples:
   repro-tls trace verify --smoke       # capture/replay bit-identity gate
   repro-tls serve --port 8321          # HTTP/JSON simulation service
   repro-tls sweep --server http://127.0.0.1:8321 --apps Euler
+  repro-tls sweep --dispatch fleet --workers 2 --apps Euler
+  repro-tls worker --connect 127.0.0.1:8422  # join a remote fleet
+  repro-tls cache migrate              # flat layout -> sharded layout
 """
 
 
@@ -658,6 +762,22 @@ examples:
                               "'repro-tls serve' frontend (e.g. "
                               "http://127.0.0.1:8321); results are "
                               "digest-verified locally")
+    p_sweep.add_argument("--dispatch", default="local",
+                         choices=["local", "fleet"],
+                         help="compute backend: the in-process pool "
+                              "(local, default) or a worker fleet over "
+                              "TCP (fleet); results are bit-identical "
+                              "either way")
+    p_sweep.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="with --dispatch fleet: localhost worker "
+                              "subprocesses to spawn (default 2); point "
+                              "remote 'repro-tls worker' agents at the "
+                              "--fleet-bind address for a real fleet")
+    p_sweep.add_argument("--fleet-bind", default="127.0.0.1:0",
+                         metavar="HOST:PORT",
+                         help="with --dispatch fleet: coordinator bind "
+                              "address (default 127.0.0.1:0 — an "
+                              "ephemeral localhost port)")
     p_sweep.set_defaults(func=_run_sweep)
 
     p_bench = sub.add_parser(
@@ -682,6 +802,11 @@ examples:
     p_bench.add_argument("--check-floor", action="store_true",
                          help="exit non-zero if engine events/sec falls "
                               "below the committed regression floor")
+    p_bench.add_argument("--fleet", type=int, default=0, metavar="N",
+                         help="also measure the fleet dispatcher with N "
+                              "localhost worker subprocesses: serial vs "
+                              "fleet wall-clock + byte-identity on the "
+                              "16-cell grid (the 'dispatch' report block)")
     p_bench.add_argument("--compare-kernel", action="store_true",
                          help="also A/B the REPRO_TLS_KERNEL drain loop "
                               "against the reference loop (byte-identity "
@@ -903,7 +1028,73 @@ examples:
     p_serve.add_argument("--no-cache", action="store_true",
                          help="serve from the in-memory tier only (no "
                               "shared disk tier)")
+    p_serve.add_argument("--dispatch", default="local",
+                         choices=["local", "fleet"],
+                         help="sweep compute backend: the in-process "
+                              "pool (local, default) or a worker fleet "
+                              "(fleet)")
+    p_serve.add_argument("--fleet-workers", type=int, default=2,
+                         metavar="N",
+                         help="with --dispatch fleet: localhost worker "
+                              "subprocesses to spawn (default 2)")
+    p_serve.add_argument("--fleet-bind", default="127.0.0.1:0",
+                         metavar="HOST:PORT",
+                         help="with --dispatch fleet: coordinator bind "
+                              "address (default 127.0.0.1:0)")
     p_serve.set_defaults(func=_run_serve)
+
+    p_worker = sub.add_parser(
+        "worker", help="a fleet worker agent (pull chunks, push results)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+connects to a sweep coordinator (started by 'repro-tls sweep --dispatch
+fleet' or 'repro-tls serve --dispatch fleet'), registers with an engine
+fingerprint, and loops: pull a job chunk, compute each job through the
+exact serial pipeline, push digest-carrying result envelopes. warm keys
+are answered from the shared cache without recomputing. SIGTERM drains
+gracefully: the current chunk finishes, in-flight work is requeued.
+only connect to coordinators you trust — job chunks are pickled.
+
+examples:
+  repro-tls worker --connect 127.0.0.1:8422
+  repro-tls worker --connect coordinator-host:8422 --cache-dir /var/tmp/tls
+""")
+    p_worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="coordinator address to register with")
+    p_worker.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="sharded result-cache root for warm-key "
+                               "short circuits (default: the standard "
+                               "cache directory)")
+    p_worker.add_argument("--no-cache", action="store_true",
+                          help="compute every chunk; no cache reads or "
+                               "writes")
+    p_worker.add_argument("--connect-timeout", type=float, default=30.0,
+                          metavar="SECONDS",
+                          help="how long to retry the initial connection "
+                               "(default 30)")
+    p_worker.set_defaults(func=_run_worker)
+
+    p_cache = sub.add_parser(
+        "cache", help="result-cache maintenance: stats and migrate",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="""\
+examples:
+  repro-tls cache stats                      # entry counts + backend
+  repro-tls cache migrate                    # flat layout -> <key[:2]>/ shards
+  repro-tls cache migrate --cache-dir /var/tmp/tls
+""")
+    csub = p_cache.add_subparsers(dest="cache_command", metavar="subcommand")
+    c_stats = csub.add_parser(
+        "stats", help="entry counts and backend description")
+    c_migrate = csub.add_parser(
+        "migrate", help="move a pre-shard flat cache layout into the "
+                        "sharded layout (one-shot, atomic per entry)")
+    for c_parser in (c_stats, c_migrate):
+        c_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help="cache root (default: the standard "
+                                   "cache directory)")
+        c_parser.set_defaults(func=_run_cache)
+    p_cache.set_defaults(func=lambda _a: (p_cache.print_help(), 2)[1])
 
     return parser
 

@@ -18,6 +18,7 @@ from repro.runner.cache import (
     ResultCache,
     ShardedResultCache,
     default_cache_root,
+    migrate_flat_layout,
     shard_of,
 )
 from repro.runner.jobs import SimJob, WorkloadSpec
@@ -25,6 +26,7 @@ from repro.runner.runner import (
     DEFAULT_CHUNK_SIZE,
     PROGRESS_SOURCES,
     SweepRunner,
+    canonical_payload_digest,
     default_jobs,
     execute_job,
     payload_from_result,
@@ -49,8 +51,10 @@ __all__ = [
     "SingleFlightStats",
     "SweepRunner",
     "WorkloadSpec",
+    "canonical_payload_digest",
     "default_cache_root",
     "default_jobs",
+    "migrate_flat_layout",
     "execute_job",
     "payload_from_result",
     "result_from_payload",

@@ -10,11 +10,13 @@ simulations through. It
 * deduplicates *in-flight* work: concurrent :meth:`SweepRunner.run_many`
   callers (threads sharing one runner) that request the same cell share
   a single computation instead of racing to repeat it;
-* fans cache misses out across a :class:`concurrent.futures.\
-ProcessPoolExecutor` (``jobs`` workers, default ``os.cpu_count()``) in
-  *chunks* of several jobs per task, so per-task pickling and IPC
-  overhead is amortized; small batches (or ``jobs=1``) skip pool
-  startup entirely and run serially;
+* hands the residue — jobs that actually need computing — to a
+  pluggable :class:`~repro.dist.dispatch.Dispatcher`: by default the
+  single-host :class:`~repro.dist.dispatch.LocalPoolDispatcher`
+  (chunked :class:`concurrent.futures.ProcessPoolExecutor` fan-out with
+  a serial fallback), or a
+  :class:`~repro.dist.coordinator.FleetDispatcher` shipping the same
+  chunks to remote workers;
 * ships worker results back as zlib-compressed JSON bytes (one compact
   buffer per job instead of a pickled object graph), and
 * reconstructs every pooled or replayed result through the same full
@@ -30,10 +32,10 @@ execution mode can never change a result, only how fast it arrives.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import zlib
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence
 
 from repro.baselines.sequential import SequentialResult, simulate_sequential
@@ -144,6 +146,28 @@ def _encode_payload(payload: dict[str, Any]) -> bytes:
     return json.dumps(payload, separators=(",", ":")).encode()
 
 
+def canonical_payload_digest(raw: bytes) -> str:
+    """SHA-256 of the canonical byte form of a serialized result payload.
+
+    For simulation results this decodes the payload and hashes
+    :func:`~repro.analysis.serialization.canonical_result_bytes` — the
+    exact bytes the determinism tests compare — so the digest is
+    identical whether the result was computed here, by a CLI run, by a
+    service frontend, or by a fleet worker on another host (the digest
+    every fleet result envelope carries). Sequential-baseline payloads
+    (which carry no host-measured field) hash their sorted-key JSON
+    form directly.
+    """
+    from repro.analysis.serialization import canonical_result_bytes
+
+    payload = json.loads(raw)
+    if payload.get("kind") == "sequential":
+        blob = json.dumps(payload, sort_keys=True).encode()
+    else:
+        blob = canonical_result_bytes(result_from_payload(payload))
+    return hashlib.sha256(blob).hexdigest()
+
+
 def _worker_chunk(jobs: Sequence[SimJob]) -> list[tuple[str, bytes]]:
     """Pool entry point: execute a chunk of jobs in one task.
 
@@ -180,7 +204,8 @@ class SweepRunner:
                  cache: ResultCache | None = None,
                  memory_cache: MemoryResultCache | None = None,
                  chunk_size: int = DEFAULT_CHUNK_SIZE,
-                 inflight_timeout: float | None = None) -> None:
+                 inflight_timeout: float | None = None,
+                 dispatcher: Any = None) -> None:
         self.jobs = jobs if jobs is not None else default_jobs()
         if self.jobs < 1:
             self.jobs = 1
@@ -198,6 +223,17 @@ class SweepRunner:
         #: Cross-caller stampede protection: one leader computes each
         #: key, concurrent requesters join its flight.
         self.flights = SingleFlight()
+        if dispatcher is None:
+            # Imported lazily: repro.dist.dispatch reaches back into
+            # this module for the pool entry points.
+            from repro.dist.dispatch import LocalPoolDispatcher
+
+            dispatcher = LocalPoolDispatcher(jobs=self.jobs,
+                                             chunk_size=self.chunk_size)
+        #: Where cache-miss batches compute: the single-host pool by
+        #: default, or any :class:`~repro.dist.dispatch.Dispatcher`
+        #: (e.g. a :class:`~repro.dist.coordinator.FleetDispatcher`).
+        self.dispatcher = dispatcher
 
     # ------------------------------------------------------------------
     def run(self, job: SimJob) -> SimulationResult | SequentialResult:
@@ -299,42 +335,12 @@ SingleFlight`) instead of repeating them. Lookup order per distinct job:
         self, pending: list[tuple[str, SimJob]],
         on_result: Callable[[str, bytes], None],
     ) -> None:
-        """Execute the cache misses, delivering (key, payload bytes) pairs
-        to ``on_result`` as each one lands.
+        """Execute the cache misses through the configured dispatcher.
 
-        Serial fallback (no pool startup) when one worker is configured
-        or the batch fits in a single dispatch chunk. ``on_result`` is
-        called at most once per key: if the pool dies part-way through
-        collection and the serial fallback re-runs the batch, already
-        delivered keys are skipped.
+        The dispatcher contract (see :class:`~repro.dist.dispatch.\
+Dispatcher`) mirrors what this method always promised: ``on_result``
+        is called at most once per key, from this thread, with the
+        canonical payload bytes — so every backend (serial, process
+        pool, worker fleet) feeds the cache tiers identically.
         """
-        delivered: set[str] = set()
-
-        def _deliver(key: str, raw: bytes) -> None:
-            if key not in delivered:
-                delivered.add(key)
-                on_result(key, raw)
-
-        if self.jobs > 1 and len(pending) > self.chunk_size:
-            chunk_size = self.chunk_size
-            job_list = [job for _key, job in pending]
-            chunks = [job_list[i:i + chunk_size]
-                      for i in range(0, len(job_list), chunk_size)]
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(chunks))
-                ) as pool:
-                    for chunk_result in pool.map(_worker_chunk, chunks):
-                        for key, raw in chunk_result:
-                            _deliver(key, zlib.decompress(raw))
-                return
-            except (OSError, ImportError):
-                # Pool creation can fail in constrained sandboxes
-                # (no /dev/shm, fork limits); fall back to serial.
-                pass
-        for key, job in pending:
-            if key in delivered:
-                continue
-            _deliver(
-                key, _encode_payload(payload_from_result(execute_job(job)))
-            )
+        self.dispatcher.compute(pending, on_result)

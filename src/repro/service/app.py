@@ -21,7 +21,6 @@ local run of the same job — no matter which tier served it.
 from __future__ import annotations
 
 import asyncio
-import hashlib
 import json
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -58,24 +57,10 @@ MAX_FINISHED_SWEEPS = 256
 MAX_DIGEST_MEMO_ENTRIES = 4096
 
 
-def canonical_payload_digest(raw: bytes) -> str:
-    """SHA-256 of the canonical byte form of a serialized result payload.
-
-    For simulation results this decodes the payload and hashes
-    :func:`~repro.analysis.serialization.canonical_result_bytes` — the
-    exact bytes the determinism tests compare — so the digest is
-    identical whether the result was computed here, by a CLI run, or by
-    another frontend. Sequential-baseline payloads (which carry no
-    host-measured field) hash their sorted-key JSON form directly.
-    """
-    from repro.analysis.serialization import canonical_result_bytes
-
-    payload = json.loads(raw)
-    if payload.get("kind") == "sequential":
-        blob = json.dumps(payload, sort_keys=True).encode()
-    else:
-        blob = canonical_result_bytes(result_from_payload(payload))
-    return hashlib.sha256(blob).hexdigest()
+# Re-exported from its home in the runner layer: the digest is what the
+# fleet's bit-identity cross-check hashes, so it lives beside the cache
+# payload encoding rather than in the HTTP-facing service.
+from repro.runner.runner import canonical_payload_digest  # noqa: E402,F401
 
 
 @dataclass
@@ -122,7 +107,8 @@ class SimulationService:
                  jobs: int | None = None,
                  workers: int = DEFAULT_WORKERS,
                  use_disk: bool = True,
-                 inflight_timeout: float = DEFAULT_INFLIGHT_TIMEOUT) -> None:
+                 inflight_timeout: float = DEFAULT_INFLIGHT_TIMEOUT,
+                 dispatcher: Any = None) -> None:
         if runner is None:
             runner = SweepRunner(
                 jobs=jobs,
@@ -130,6 +116,7 @@ class SimulationService:
                 memory_cache=MemoryResultCache(
                     DEFAULT_SERVICE_MEMORY_ENTRIES),
                 inflight_timeout=inflight_timeout,
+                dispatcher=dispatcher,
             )
         self.runner = runner
         self._executor = ThreadPoolExecutor(
@@ -380,6 +367,7 @@ class SimulationService:
                 "max_entries": memory.max_entries,
             },
             "singleflight": runner.flights.stats.to_dict(),
+            "dispatch": self._dispatch_stats(runner),
             "service": dict(self.counters),
             "sweeps": {
                 "submitted": self._sweep_seq,
@@ -395,4 +383,26 @@ class SimulationService:
             }
         else:
             body["shared"] = None
+        return body
+
+    @staticmethod
+    def _dispatch_stats(runner: SweepRunner) -> dict[str, Any] | None:
+        """The ``dispatch`` block of the stats body.
+
+        Describes whichever :class:`~repro.dist.dispatch.Dispatcher`
+        backs the runner — ``local-pool`` counters for the single-host
+        path, worker/chunk/divergence counters for a fleet — so service
+        benchmarks are comparable across backends.
+        """
+        dispatcher = getattr(runner, "dispatcher", None)
+        if dispatcher is None:
+            return None
+        body: dict[str, Any] = {"backend": dispatcher.describe()}
+        stats_dict = getattr(dispatcher, "stats_dict", None)
+        if stats_dict is not None:
+            body.update(stats_dict())
+        else:
+            stats = getattr(dispatcher, "stats", None)
+            if stats is not None:
+                body.update(stats.to_dict())
         return body

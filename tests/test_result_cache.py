@@ -26,6 +26,7 @@ from repro.runner import (
     SimJob,
     SweepRunner,
     WorkloadSpec,
+    migrate_flat_layout,
     shard_of,
 )
 
@@ -232,3 +233,33 @@ def test_raw_and_decoded_paths_see_the_same_payload(tmp_path):
     cache.store(key, payload)
     assert json.loads(cache.load_raw(key)) == payload
     assert cache.load(key) == payload
+
+
+def test_migrate_flat_layout_moves_entries_into_shards(tmp_path):
+    key_a = "ab" + "0" * 62
+    key_b = "cd" + "1" * 62
+    (tmp_path / f"{key_a}.json").write_text('{"kind": "flat-a"}')
+    (tmp_path / f"{key_b}.json").write_text('{"kind": "flat-b"}')
+    (tmp_path / "notes.json").write_text("{}")
+
+    counts = migrate_flat_layout(tmp_path)
+    assert counts == {"migrated": 2, "skipped_existing": 0, "ignored": 1}
+    assert not (tmp_path / f"{key_a}.json").exists()
+
+    cache = ResultCache(tmp_path)
+    assert cache.load(key_a) == {"kind": "flat-a"}
+    assert cache.load(key_b) == {"kind": "flat-b"}
+    # Migration is idempotent: nothing flat remains to move.
+    assert migrate_flat_layout(tmp_path)["migrated"] == 0
+
+
+def test_migrate_flat_layout_prefers_the_sharded_copy(tmp_path):
+    key = "ee" + "2" * 62
+    cache = ResultCache(tmp_path)
+    cache.store(key, {"kind": "sharded"})
+    (tmp_path / f"{key}.json").write_text('{"kind": "stale-flat"}')
+
+    counts = migrate_flat_layout(tmp_path)
+    assert counts["skipped_existing"] == 1
+    assert not (tmp_path / f"{key}.json").exists()
+    assert ResultCache(tmp_path).load(key) == {"kind": "sharded"}

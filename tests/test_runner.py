@@ -372,13 +372,13 @@ def test_concurrent_run_many_computes_each_cell_once(monkeypatch):
 
 
 def test_small_batches_skip_pool_startup(monkeypatch):
-    import repro.runner.runner as runner_mod
+    import repro.dist.dispatch as dispatch_mod
 
     class ExplodingPool:
         def __init__(self, *args, **kwargs):
             raise AssertionError("pool started for a batch below one chunk")
 
-    monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", ExplodingPool)
+    monkeypatch.setattr(dispatch_mod, "ProcessPoolExecutor", ExplodingPool)
     # jobs=1 always stays serial, whatever the batch size.
     runner = SweepRunner(jobs=1, cache=None)
     assert runner.run(_job()) is not None
